@@ -1,0 +1,82 @@
+// Command casestudy regenerates the paper's case-study artifacts:
+// Table 1 (application list), Table 2 (running times), Table 3 (loop-nest
+// inspection), the Amdahl bounds of §4.2, and the Fortuna-style
+// task-level baseline of §6.
+//
+// Usage:
+//
+//	casestudy [-table=all|1|2|3|amdahl|fortuna] [-scale=N] [-seed=N]
+//
+// -scale divides workload sizes (1 = full Table 2/3 configuration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/study"
+	"repro/internal/workloads"
+)
+
+func main() {
+	table := flag.String("table", "all", "which artifact to print: all, 1, 2, 3, amdahl, fortuna")
+	scaleDiv := flag.Int("scale", 1, "divide workload sizes by N (1 = paper-scale)")
+	seed := flag.Uint64("seed", 7, "deterministic seed")
+	flag.Parse()
+
+	workloads.SetScale(workloads.Scale{Div: *scaleDiv})
+
+	if *table == "1" {
+		fmt.Print(report.Table1(workloads.All()))
+		return
+	}
+	if *table == "fortuna" {
+		rows, err := study.RunFortunaAll(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Fortuna(rows))
+		return
+	}
+
+	results, err := study.RunAll(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	switch *table {
+	case "2":
+		fmt.Print(report.Table2(study.Table2(results)))
+	case "3":
+		fmt.Print(report.Table3(study.Table3(results)))
+	case "amdahl":
+		fmt.Print(report.Amdahl(results))
+	case "all":
+		fmt.Print(report.Table1(workloads.All()))
+		fmt.Println()
+		fmt.Print(report.Table2(study.Table2(results)))
+		fmt.Println()
+		fmt.Print(report.Table3(study.Table3(results)))
+		fmt.Println()
+		fmt.Print(report.Amdahl(results))
+		fmt.Println()
+		rows, err := study.RunFortunaAll(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Fortuna(rows))
+		poly := 0
+		for _, r := range results {
+			poly += len(r.PolymorphicVars)
+		}
+		fmt.Printf("\npolymorphic variables in hot loops across all apps: %d (paper: none found)\n", poly)
+	default:
+		fatal(fmt.Errorf("unknown -table=%s", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "casestudy:", err)
+	os.Exit(1)
+}

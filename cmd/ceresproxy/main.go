@@ -1,0 +1,39 @@
+// Command ceresproxy runs the JS-CERES instrumentation proxy of Fig. 5:
+// point a browser (or this repository's interpreter) at it, and every
+// JavaScript response from the origin is rewritten with profiling
+// instrumentation on the way through. Pages post results to
+// /__ceres/results; the proxy saves human-readable reports.
+//
+// Usage:
+//
+//	ceresproxy -origin http://localhost:8000 -listen :8080 -mode loops -reports ./ceres-reports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/instrument"
+	"repro/internal/proxy"
+)
+
+func main() {
+	origin := flag.String("origin", "http://localhost:8000", "upstream web server")
+	listen := flag.String("listen", ":8080", "proxy listen address")
+	mode := flag.String("mode", "light", "instrumentation mode: light, loops")
+	reports := flag.String("reports", "ceres-reports", "directory for result reports")
+	flag.Parse()
+
+	m := instrument.ModeLight
+	if *mode == "loops" {
+		m = instrument.ModeLoops
+	}
+	p, err := proxy.New(*origin, m, *reports)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s)\n", *listen, *origin, *mode, *reports)
+	log.Fatal(http.ListenAndServe(*listen, p))
+}

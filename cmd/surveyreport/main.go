@@ -1,0 +1,53 @@
+// Command surveyreport regenerates the survey artifacts of §2:
+// Figures 1–4, the inter-rater agreement validation, and the §2.3
+// operator-preference finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/survey"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "synthetic corpus seed")
+	flag.Parse()
+
+	corpus := survey.Generate(*seed)
+	if err := corpus.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "surveyreport:", err)
+		os.Exit(1)
+	}
+
+	coder := survey.NewCoder()
+	rows, valid := survey.Figure1(corpus, coder)
+	fmt.Print(report.Figure1(rows, valid))
+	fmt.Println()
+
+	fmt.Print(report.Figure2(survey.Figure2(corpus)))
+	fmt.Println()
+
+	fmt.Print(report.ScaleFigure(
+		"Figure 3. Programming style preference scale from Functional (1) to Imperative (5)",
+		"strongly functional", "strongly imperative", survey.Figure3(corpus)))
+	fmt.Println()
+
+	fmt.Print(report.ScaleFigure(
+		"Figure 4. Preference scale for variables: from Monomorphic (1) to Polymorphic (5)",
+		"purely monomorphic", "extensively polymorphic", survey.Figure4(corpus)))
+	fmt.Println()
+
+	agreement := survey.InterRaterAgreement(corpus, coder, survey.NewSecondCoder(), 0.20)
+	fmt.Printf("inter-rater agreement (Jaccard, 20%% of data): %.0f%% (paper: >80%%)\n", 100*agreement)
+
+	prefer, answered := survey.OperatorPreference(corpus)
+	fmt.Printf("prefer high-level array operators over loops: %d/%d = %.0f%% (paper: 74%%)\n",
+		prefer, answered, 100*float64(prefer)/float64(answered))
+
+	g := survey.GlobalsBreakdown(corpus)
+	fmt.Printf("globals question (§2.4): %d answered; namespace/module %d, page communication %d, singletons %d, debugging %d, never %d\n",
+		g.Answered, g.Namespace, g.PageComm, g.Singleton, g.Debugging, g.Never)
+}

@@ -1,0 +1,77 @@
+// clothsim runs the Tear-able Cloth workload under all three JS-CERES
+// modes and prints the full per-application analysis: the Table 2 row,
+// the Table 3 nest rows, and the top dependence warnings that explain the
+// "medium" difficulty judgment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/js/ast"
+	"repro/internal/study"
+	"repro/internal/workloads"
+)
+
+func main() {
+	wl, err := workloads.ByName("Tear-able Cloth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workloads.SetScale(workloads.Scale{Div: 2})
+
+	res, err := study.RunDeep(wl, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t2 := res.Table2
+	fmt.Println("Tear-able Cloth — Verlet cloth simulation (Table 1: Games)")
+	fmt.Printf("\nrunning time (Table 2 row):\n")
+	fmt.Printf("  total %.2fs, active %.2fs, in loops %.2fs\n", t2.TotalS, t2.ActiveS, t2.LoopsS)
+	if t2.ActiveBelowLoops() {
+		fmt.Println("  active < in-loops: the relaxation pass runs inline in one function,")
+		fmt.Println("  so the function-granularity sampler undercounts it (§3.1's anomaly)")
+	}
+
+	fmt.Printf("\nloop nests (Table 3 rows):\n")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  nest\t%loop\tinstances\ttrips\tdivergence\tDOM\tdeps\tparallelization")
+	for _, n := range res.Nests {
+		fmt.Fprintf(tw, "  %s\t%.0f\t%d\t%.0f±%.0f\t%s\t%v\t%s\t%s\n",
+			n.Label, n.PctLoop, n.Instanc, n.TripMean, n.TripStd,
+			n.Divergence, n.DOMAccess, n.DepDiff, n.ParDiff)
+	}
+	tw.Flush()
+
+	// Dependence detail: why "medium"? Re-run focused on the hot nest.
+	in := workloads.NewInterp(7)
+	prog, err := workloads.Parse(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep := core.NewDepAnalyzer(ast.NoLoop)
+	in.SetHooks(dep)
+	if _, err := workloads.Run(wl, in); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop dependence warnings:\n")
+	count := 0
+	for _, w := range dep.Warnings() {
+		if w.Kind == core.WarnRecursion {
+			continue
+		}
+		fmt.Printf("  [%7dx] %s\n", w.Count, w.Format(prog.Loops))
+		count++
+		if count >= 12 {
+			break
+		}
+	}
+	fmt.Println("\nThe px/py flow dependences are neighbouring cloth points relaxed")
+	fmt.Println("in place — breakable with constraint coloring or double buffering,")
+	fmt.Println("hence the paper's (and this tool's) 'medium' judgment.")
+	fmt.Printf("\nAmdahl bound counting breakable nests: %.2fx\n", res.AmdahlBreakable)
+}

@@ -1,0 +1,83 @@
+// Quickstart: run JS-CERES's dependence analysis on the paper's Fig. 6
+// N-body step and print the warning report in the paper's own notation
+// ("while(line ..) ok ok → for(line ..) ok dependence").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/js/ast"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+)
+
+// The paper's Fig. 6, with a bounded driver loop so the example
+// terminates.
+const nbody = `var bodies = [];
+function Particle() { this.x = 0; this.y = 0; this.vX = 0; this.vY = 0; this.fX = 0; this.fY = 0; this.m = 1; }
+var dT = 0.01;
+for (var s = 0; s < 32; s++) { bodies.push(new Particle()); }
+function computeForces() {
+  for (var i = 0; i < bodies.length; i++) {
+    var b = bodies[i];
+    b.fX = 0.001 * (i % 3 - 1);
+    b.fY = 0.001 * (i % 5 - 2);
+  }
+}
+function step() {
+  computeForces();
+  var com = new Particle();
+  for (var i = 0; i < bodies.length; i++) {
+    var p = bodies[i];
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  return com;
+}
+var steps = 0;
+while (steps < 8) {
+  var com = step();
+  steps++;
+}
+`
+
+func main() {
+	prog, err := parser.Parse(nbody)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := interp.New()
+	dep := core.NewDepAnalyzer(ast.NoLoop)
+	in.SetHooks(dep)
+	if err := in.Run(prog); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("JS-CERES dependence analysis of the paper's Fig. 6 N-body step")
+	fmt.Println()
+	for _, w := range dep.Warnings() {
+		fmt.Printf("%-10s %-10s %s\n", w.Kind, w.Name, w.Char.Format(prog.Loops))
+	}
+
+	fmt.Println()
+	fmt.Println("reading the report (§3.3):")
+	fmt.Println(" - 'ok ok'          iteration-private at that loop: safe")
+	fmt.Println(" - 'ok dependence'  shared across iterations: must be broken to parallelize")
+	fmt.Println(" - the var-write on p and prop-writes on p.* disappear in the forEach")
+	fmt.Println("   variant (see examples/nbody); the com.* flow dependences remain —")
+	fmt.Println("   the center-of-mass accumulation makes the loop truly sequential.")
+
+	if vars := dep.PolymorphicVars(); len(vars) == 0 {
+		fmt.Println("\npolymorphic variables in hot code: none (matches §4.2)")
+	} else {
+		fmt.Printf("\npolymorphic variables: %v\n", vars)
+	}
+}

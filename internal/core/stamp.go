@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/js/ast"
+)
+
+// Triple is one level of the loop characterization stack: which syntactic
+// loop, which dynamic instance of it, and which iteration is currently
+// running (§3.3 of the paper).
+type Triple struct {
+	Loop      ast.LoopID
+	Instance  int64
+	Iteration int64
+}
+
+// Stamp is an immutable snapshot of the characterization stack, taken at
+// object-instantiation or binding-creation time (the paper stores it in an
+// ES Proxy wrapper; here it lives in the Aux slot of bindings/objects).
+type Stamp []Triple
+
+// LevelChar characterizes one loop level of an access: whether the value
+// is private per instance and per iteration of that loop. The paper prints
+// these as "ok"/"dependence" pairs.
+type LevelChar struct {
+	Loop        ast.LoopID
+	InstanceOK  bool
+	IterationOK bool
+}
+
+// Characterization is the per-loop-level characterization of one access,
+// outermost loop first — the "→"-separated triple list of §3.3.
+type Characterization []LevelChar
+
+// Characterize diffs the creation stamp of the accessed location against
+// the current stack, producing the paper's ok/dependence list:
+//
+//   - matching levels (same loop, same instance, same iteration) are
+//     "ok ok";
+//   - a level whose iteration differs is "ok dependence"; one whose
+//     instance differs is "dependence dependence" ("dependence ok" is not
+//     a valid characterization — if all instances share the value, all
+//     iterations do too);
+//   - levels missing from the stamp (the value was created before the
+//     loop began, in the current enclosing iteration) are
+//     "ok dependence": every iteration of this instance shares the value;
+//   - once a level differs, all deeper levels are conservatively
+//     "dependence dependence".
+func Characterize(stamp, current Stamp) Characterization {
+	out := make(Characterization, 0, len(current))
+	misaligned := false
+	for i, cur := range current {
+		if misaligned {
+			out = append(out, LevelChar{Loop: cur.Loop})
+			continue
+		}
+		if i < len(stamp) && stamp[i].Loop == cur.Loop {
+			instOK := stamp[i].Instance == cur.Instance
+			iterOK := instOK && stamp[i].Iteration == cur.Iteration
+			out = append(out, LevelChar{Loop: cur.Loop, InstanceOK: instOK, IterationOK: iterOK})
+			if !iterOK {
+				misaligned = true
+			}
+			continue
+		}
+		if i >= len(stamp) {
+			// Created before this loop started, within the current
+			// iteration of every enclosing loop.
+			out = append(out, LevelChar{Loop: cur.Loop, InstanceOK: true, IterationOK: false})
+			misaligned = true
+			continue
+		}
+		// Structural mismatch (different loop at this level).
+		out = append(out, LevelChar{Loop: cur.Loop})
+		misaligned = true
+	}
+	return out
+}
+
+// Clean reports whether every level is "ok ok" (the access is private to
+// the current iteration at every depth — not problematic).
+func (c Characterization) Clean() bool {
+	for _, l := range c {
+		if !l.InstanceOK || !l.IterationOK {
+			return false
+		}
+	}
+	return true
+}
+
+// DependsAt reports whether the characterization shows an inter-iteration
+// or inter-instance dependence at the given loop.
+func (c Characterization) DependsAt(loop ast.LoopID) bool {
+	for _, l := range c {
+		if l.Loop == loop {
+			return !l.InstanceOK || !l.IterationOK
+		}
+	}
+	return false
+}
+
+// IterationDependsAt reports an iteration-level dependence at the given
+// loop with instance-level privacy (the parallelizability question for
+// that loop).
+func (c Characterization) IterationDependsAt(loop ast.LoopID) bool {
+	for _, l := range c {
+		if l.Loop == loop {
+			return l.InstanceOK && !l.IterationOK
+		}
+	}
+	return false
+}
+
+// hasIterationDep reports whether any level is "ok dependence" — a true
+// inter-iteration dependence with instance-level privacy.
+func (c Characterization) hasIterationDep() bool {
+	for _, l := range c {
+		if l.InstanceOK && !l.IterationOK {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical string for deduplicating identical
+// characterizations, e.g. "1:oo/4:od".
+func (c Characterization) Key() string {
+	var sb strings.Builder
+	for i, l := range c {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		writeIntSB(&sb, int64(l.Loop))
+		sb.WriteByte(':')
+		sb.WriteByte(flagChar(l.InstanceOK))
+		sb.WriteByte(flagChar(l.IterationOK))
+	}
+	return sb.String()
+}
+
+func flagChar(ok bool) byte {
+	if ok {
+		return 'o'
+	}
+	return 'd'
+}
+
+func writeIntSB(sb *strings.Builder, n int64) {
+	if n < 0 {
+		sb.WriteByte('-')
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	sb.Write(buf[i:])
+}
+
+// Format renders the characterization in the paper's notation, e.g.
+// "while(line 24) ok ok → for(line 6) ok dependence". loops maps LoopID to
+// its LoopInfo (pass prog.Loops).
+func (c Characterization) Format(loops []ast.LoopInfo) string {
+	var sb strings.Builder
+	for i, l := range c {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		sb.WriteString(loopLabel(loops, l.Loop))
+		sb.WriteByte(' ')
+		sb.WriteString(flagWord(l.InstanceOK))
+		sb.WriteByte(' ')
+		sb.WriteString(flagWord(l.IterationOK))
+	}
+	return sb.String()
+}
+
+func flagWord(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "dependence"
+}
+
+func loopLabel(loops []ast.LoopInfo, id ast.LoopID) string {
+	idx := int(id) - 1
+	if idx >= 0 && idx < len(loops) {
+		return loops[idx].Label()
+	}
+	return "loop(?)"
+}

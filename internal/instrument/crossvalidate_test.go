@@ -1,0 +1,147 @@
+package instrument
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/value"
+)
+
+// Cross-validation: the paper's two measurement paths — source-to-source
+// instrumentation injected by the proxy (this package) and the engine-side
+// hook profiler (internal/core) — must agree on what they measure. This
+// guards both implementations against each other.
+
+const xvalSrc = `
+var acc = 0;
+function inner(n) {
+  var s = 0;
+  for (var j = 0; j < n; j++) {
+    s += j % 5;
+  }
+  return s;
+}
+for (var i = 0; i < 40; i++) {
+  acc += inner(10 + (i % 3));
+}
+var k = 0;
+do {
+  k++;
+} while (k < 25);
+`
+
+// hookStats runs the raw source under the hook-based LoopProfiler.
+func hookStats(t *testing.T) map[int64][3]float64 {
+	t.Helper()
+	prog := parser.MustParse(xvalSrc)
+	in := interp.New()
+	lp := core.NewLoopProfiler(in)
+	in.SetHooks(lp)
+	if err := in.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int64][3]float64)
+	for _, s := range lp.AllStats() {
+		out[int64(s.ID)] = [3]float64{float64(s.Instances), s.Trips.Mean(), s.Trips.StdDev()}
+	}
+	return out
+}
+
+// sourceStats runs the rewritten source and reads the injected runtime's
+// report.
+func sourceStats(t *testing.T) map[int64][3]float64 {
+	t.Helper()
+	res, err := Rewrite(xvalSrc, ModeLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(res.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := interp.New()
+	if err := in.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := in.SafeCall(in.Global("__ceresReport"), value.Undefined(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopsV, _ := rep.Object().Get("loops")
+	out := make(map[int64][3]float64)
+	for _, lv := range loopsV.Object().Elems {
+		o := lv.Object()
+		id := int64(o.GetNumber("id"))
+		out[id] = [3]float64{
+			o.GetNumber("instances"),
+			o.GetNumber("meanTrips"),
+			o.GetNumber("tripStd"),
+		}
+	}
+	return out
+}
+
+func TestSourceAndHookProfilersAgree(t *testing.T) {
+	hooks := hookStats(t)
+	src := sourceStats(t)
+	if len(hooks) != 3 || len(src) != 3 {
+		t.Fatalf("loop counts: hooks=%d source=%d, want 3", len(hooks), len(src))
+	}
+	for id, h := range hooks {
+		s, ok := src[id]
+		if !ok {
+			t.Errorf("loop %d missing from source-level profile", id)
+			continue
+		}
+		if h[0] != s[0] {
+			t.Errorf("loop %d instances: hooks=%v source=%v", id, h[0], s[0])
+		}
+		if math.Abs(h[1]-s[1]) > 1e-9 {
+			t.Errorf("loop %d mean trips: hooks=%v source=%v", id, h[1], s[1])
+		}
+		if math.Abs(h[2]-s[2]) > 1e-6 {
+			t.Errorf("loop %d trip stddev: hooks=%v source=%v", id, h[2], s[2])
+		}
+	}
+}
+
+// TestLightModeAgreesWithLightProfiler: the injected open-loop counter and
+// the hook-based one measure the same quantity. Times differ (the injected
+// runtime itself consumes virtual steps), so compare loop-share within
+// a tolerance band rather than exact values.
+func TestLightModeAgreesWithLightProfiler(t *testing.T) {
+	// hook side
+	prog := parser.MustParse(xvalSrc)
+	in1 := interp.New()
+	light := core.NewLightProfiler(in1)
+	in1.SetHooks(light)
+	if err := in1.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	hookShare := float64(light.InLoopTime()) / float64(in1.ScriptTime())
+
+	// source side
+	res, err := Rewrite(xvalSrc, ModeLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := interp.New()
+	if err := in2.Run(parser.MustParse(res.Source)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := in2.SafeCall(in2.Global("__ceresReport"), value.Undefined(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcShare := rep.Object().GetNumber("inLoopsMs") / rep.Object().GetNumber("totalMs")
+
+	if math.Abs(hookShare-srcShare) > 0.15 {
+		t.Errorf("loop-time share: hooks=%.3f source=%.3f — should agree within 15%%", hookShare, srcShare)
+	}
+	if hookShare <= 0.5 {
+		t.Errorf("loop-dominated program measured at %.3f in loops", hookShare)
+	}
+}

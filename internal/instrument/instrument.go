@@ -1,0 +1,275 @@
+// Package instrument implements the proxy-side source-to-source transform
+// of Fig. 5: JavaScript arriving from the web server is rewritten so that
+// every syntactic loop reports entry, iteration, and exit to a small
+// injected runtime, exactly the lightweight/loop-profiling instrumentation
+// strategy of §3.1–§3.2 (open-loop counter, per-loop trip statistics with
+// Welford's update, timestamps from the high-resolution timer).
+//
+// The transform is engine-agnostic: output is plain JavaScript that runs
+// on any engine providing performance.now — including this repository's
+// interpreter, which is how the proxy pipeline is tested end to end.
+package instrument
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+)
+
+// Mode selects how much instrumentation the rewriter injects.
+type Mode int
+
+// Modes, in increasing overhead order (§3's three stages; the dependence
+// mode is interpreter-assisted and not expressible as pure source rewrite
+// without shadowing every property access, so the proxy offers the two
+// profiling stages).
+const (
+	// ModeLight counts only total-vs-in-loop time (open-loop counter).
+	ModeLight Mode = iota
+	// ModeLoops additionally tracks per-loop instances/trips/time with
+	// Welford statistics.
+	ModeLoops
+)
+
+// Result is the rewriter's output.
+type Result struct {
+	Source   string
+	NumLoops int
+}
+
+// Rewrite parses src, wraps every loop with runtime callbacks, and
+// prepends the runtime. The original program's behaviour is preserved
+// (loop exit fires through try/finally even on break/return/throw).
+func Rewrite(src string, mode Mode) (*Result, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: %w", err)
+	}
+	tr := &transformer{}
+	for i := range prog.Body {
+		prog.Body[i] = tr.stmt(prog.Body[i])
+	}
+	var sb strings.Builder
+	sb.WriteString(Runtime(mode))
+	sb.WriteString(printer.Print(prog))
+	return &Result{Source: sb.String(), NumLoops: len(prog.Loops)}, nil
+}
+
+type transformer struct{}
+
+// stmt rewrites a statement tree, wrapping loops.
+func (t *transformer) stmt(s ast.Stmt) ast.Stmt {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for i := range x.Body {
+			x.Body[i] = t.stmt(x.Body[i])
+		}
+		return x
+	case *ast.IfStmt:
+		x.Cons = t.stmt(x.Cons)
+		if x.Alt != nil {
+			x.Alt = t.stmt(x.Alt)
+		}
+		return x
+	case *ast.FuncDecl:
+		t.funcLit(x.Fn)
+		return x
+	case *ast.ExprStmt:
+		t.expr(x.X)
+		return x
+	case *ast.VarDecl:
+		for _, init := range x.Inits {
+			if init != nil {
+				t.expr(init)
+			}
+		}
+		return x
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			t.expr(x.X)
+		}
+		return x
+	case *ast.ThrowStmt:
+		t.expr(x.X)
+		return x
+	case *ast.TryStmt:
+		t.stmt(x.Body)
+		if x.Catch != nil {
+			t.stmt(x.Catch)
+		}
+		if x.Finally != nil {
+			t.stmt(x.Finally)
+		}
+		return x
+	case *ast.SwitchStmt:
+		for i := range x.Cases {
+			for j := range x.Cases[i].Body {
+				x.Cases[i].Body[j] = t.stmt(x.Cases[i].Body[j])
+			}
+		}
+		return x
+	case *ast.ForStmt:
+		x.Body = t.prependIter(t.stmt(x.Body), x.Loop)
+		return t.wrapLoop(x, x.Loop)
+	case *ast.WhileStmt:
+		x.Body = t.prependIter(t.stmt(x.Body), x.Loop)
+		return t.wrapLoop(x, x.Loop)
+	case *ast.DoWhileStmt:
+		x.Body = t.prependIter(t.stmt(x.Body), x.Loop)
+		return t.wrapLoop(x, x.Loop)
+	case *ast.ForInStmt:
+		x.Body = t.prependIter(t.stmt(x.Body), x.Loop)
+		return t.wrapLoop(x, x.Loop)
+	default:
+		return s
+	}
+}
+
+// expr descends into expressions to reach function literals.
+func (t *transformer) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			t.funcLit(fl)
+			return false
+		}
+		return true
+	})
+}
+
+func (t *transformer) funcLit(fn *ast.FuncLit) {
+	for i := range fn.Body.Body {
+		fn.Body.Body[i] = t.stmt(fn.Body.Body[i])
+	}
+}
+
+func call(name string, id ast.LoopID) ast.Stmt {
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fn:   &ast.Ident{Name: name},
+		Args: []ast.Expr{&ast.NumberLit{Value: float64(id)}},
+	}}
+}
+
+// prependIter inserts the per-iteration callback at the top of the body.
+func (t *transformer) prependIter(body ast.Stmt, id ast.LoopID) ast.Stmt {
+	blk, ok := body.(*ast.BlockStmt)
+	if !ok {
+		blk = &ast.BlockStmt{Body: []ast.Stmt{body}}
+	}
+	blk.Body = append([]ast.Stmt{call("__ceresIter", id)}, blk.Body...)
+	return blk
+}
+
+// wrapLoop brackets the loop with enter/exit callbacks; exit is in a
+// finally so break/return/throw cannot unbalance the open-loop counter.
+func (t *transformer) wrapLoop(loop ast.Stmt, id ast.LoopID) ast.Stmt {
+	return &ast.BlockStmt{Body: []ast.Stmt{
+		call("__ceresEnter", id),
+		&ast.TryStmt{
+			Body:    &ast.BlockStmt{Body: []ast.Stmt{loop}},
+			Finally: &ast.BlockStmt{Body: []ast.Stmt{call("__ceresExit", id)}},
+		},
+	}}
+}
+
+// Runtime returns the injected JavaScript runtime for the given mode.
+func Runtime(mode Mode) string {
+	if mode == ModeLight {
+		return lightRuntime
+	}
+	return loopsRuntime
+}
+
+// lightRuntime implements §3.1 verbatim: an open-loop counter, a
+// timestamp when 0→1, accumulation when 1→0.
+const lightRuntime = `// JS-CERES lightweight profiling runtime (injected by the proxy)
+var __ceresOpen = 0;
+var __ceresLoopStart = 0;
+var __ceresLoopTotal = 0;
+var __ceresStart = performance.now();
+function __ceresEnter(id) {
+  if (__ceresOpen === 0) {
+    __ceresLoopStart = performance.now();
+  }
+  __ceresOpen++;
+}
+function __ceresIter(id) {}
+function __ceresExit(id) {
+  __ceresOpen--;
+  if (__ceresOpen === 0) {
+    __ceresLoopTotal += performance.now() - __ceresLoopStart;
+  }
+}
+function __ceresReport() {
+  return {
+    mode: "light",
+    totalMs: performance.now() - __ceresStart,
+    inLoopsMs: __ceresLoopTotal
+  };
+}
+`
+
+// loopsRuntime implements §3.2: per-loop instances and running totals,
+// with mean/variance of time and trip count via Welford's online update.
+const loopsRuntime = `// JS-CERES loop profiling runtime (injected by the proxy)
+var __ceresLoops = {};
+var __ceresStack = [];
+var __ceresStart = performance.now();
+function __ceresLoopRec(id) {
+  var rec = __ceresLoops[id];
+  if (!rec) {
+    rec = {
+      id: id, instances: 0,
+      timeN: 0, timeMean: 0, timeM2: 0,
+      tripN: 0, tripMean: 0, tripM2: 0
+    };
+    __ceresLoops[id] = rec;
+  }
+  return rec;
+}
+function __ceresWelford(rec, pre, x) {
+  rec[pre + "N"]++;
+  var d = x - rec[pre + "Mean"];
+  rec[pre + "Mean"] += d / rec[pre + "N"];
+  rec[pre + "M2"] += d * (x - rec[pre + "Mean"]);
+}
+function __ceresEnter(id) {
+  var rec = __ceresLoopRec(id);
+  rec.instances++;
+  __ceresStack.push({id: id, start: performance.now(), trips: 0});
+}
+function __ceresIter(id) {
+  var i = __ceresStack.length - 1;
+  while (i >= 0 && __ceresStack[i].id !== id) { i--; }
+  if (i >= 0) { __ceresStack[i].trips++; }
+}
+function __ceresExit(id) {
+  var i = __ceresStack.length - 1;
+  while (i >= 0 && __ceresStack[i].id !== id) { i--; }
+  if (i < 0) { return; }
+  var frame = __ceresStack[i];
+  __ceresStack.splice(i, 1);
+  var rec = __ceresLoopRec(id);
+  __ceresWelford(rec, "time", performance.now() - frame.start);
+  __ceresWelford(rec, "trip", frame.trips);
+}
+function __ceresReport() {
+  var loops = [];
+  for (var id in __ceresLoops) {
+    var r = __ceresLoops[id];
+    var tripVar = r.tripN > 0 ? r.tripM2 / r.tripN : 0;
+    loops.push({
+      id: r.id, instances: r.instances,
+      totalMs: r.timeMean * r.timeN,
+      meanTrips: r.tripMean, tripStd: Math.sqrt(tripVar)
+    });
+  }
+  return {
+    mode: "loops",
+    totalMs: performance.now() - __ceresStart,
+    loops: loops
+  };
+}
+`

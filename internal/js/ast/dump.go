@@ -1,0 +1,261 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a compact s-expression form of the node, used by golden
+// parser tests and debug output.
+func Dump(n Node) string {
+	var sb strings.Builder
+	dump(&sb, n)
+	return sb.String()
+}
+
+// DumpProgram renders every top-level statement on its own line.
+func DumpProgram(p *Program) string {
+	var sb strings.Builder
+	for i, s := range p.Body {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		dump(&sb, s)
+	}
+	return sb.String()
+}
+
+func dump(sb *strings.Builder, n Node) {
+	switch x := n.(type) {
+	case nil:
+		sb.WriteString("<nil>")
+	case *VarDecl:
+		sb.WriteString("(var")
+		for i, name := range x.Names {
+			sb.WriteByte(' ')
+			sb.WriteString(name)
+			if x.Inits[i] != nil {
+				sb.WriteByte('=')
+				dump(sb, x.Inits[i])
+			}
+		}
+		sb.WriteByte(')')
+	case *FuncDecl:
+		fmt.Fprintf(sb, "(funcdecl %s ", x.Name)
+		dump(sb, x.Fn)
+		sb.WriteByte(')')
+	case *ExprStmt:
+		sb.WriteString("(expr ")
+		dump(sb, x.X)
+		sb.WriteByte(')')
+	case *BlockStmt:
+		sb.WriteString("(block")
+		for _, s := range x.Body {
+			sb.WriteByte(' ')
+			dump(sb, s)
+		}
+		sb.WriteByte(')')
+	case *IfStmt:
+		sb.WriteString("(if ")
+		dump(sb, x.Cond)
+		sb.WriteByte(' ')
+		dump(sb, x.Cons)
+		if x.Alt != nil {
+			sb.WriteByte(' ')
+			dump(sb, x.Alt)
+		}
+		sb.WriteByte(')')
+	case *ForStmt:
+		fmt.Fprintf(sb, "(for#%d ", x.Loop)
+		dumpOrNil(sb, x.Init)
+		sb.WriteByte(' ')
+		dumpOrNil(sb, x.Cond)
+		sb.WriteByte(' ')
+		dumpOrNil(sb, x.Post)
+		sb.WriteByte(' ')
+		dump(sb, x.Body)
+		sb.WriteByte(')')
+	case *WhileStmt:
+		fmt.Fprintf(sb, "(while#%d ", x.Loop)
+		dump(sb, x.Cond)
+		sb.WriteByte(' ')
+		dump(sb, x.Body)
+		sb.WriteByte(')')
+	case *DoWhileStmt:
+		fmt.Fprintf(sb, "(do#%d ", x.Loop)
+		dump(sb, x.Body)
+		sb.WriteByte(' ')
+		dump(sb, x.Cond)
+		sb.WriteByte(')')
+	case *ForInStmt:
+		fmt.Fprintf(sb, "(forin#%d %s ", x.Loop, x.Name)
+		dump(sb, x.Obj)
+		sb.WriteByte(' ')
+		dump(sb, x.Body)
+		sb.WriteByte(')')
+	case *ReturnStmt:
+		sb.WriteString("(return")
+		if x.X != nil {
+			sb.WriteByte(' ')
+			dump(sb, x.X)
+		}
+		sb.WriteByte(')')
+	case *BreakStmt:
+		sb.WriteString("(break)")
+	case *ContinueStmt:
+		sb.WriteString("(continue)")
+	case *ThrowStmt:
+		sb.WriteString("(throw ")
+		dump(sb, x.X)
+		sb.WriteByte(')')
+	case *TryStmt:
+		sb.WriteString("(try ")
+		dump(sb, x.Body)
+		if x.Catch != nil {
+			fmt.Fprintf(sb, " (catch %s ", x.CatchName)
+			dump(sb, x.Catch)
+			sb.WriteByte(')')
+		}
+		if x.Finally != nil {
+			sb.WriteString(" (finally ")
+			dump(sb, x.Finally)
+			sb.WriteByte(')')
+		}
+		sb.WriteByte(')')
+	case *SwitchStmt:
+		sb.WriteString("(switch ")
+		dump(sb, x.Disc)
+		for _, c := range x.Cases {
+			if c.Test == nil {
+				sb.WriteString(" (default")
+			} else {
+				sb.WriteString(" (case ")
+				dump(sb, c.Test)
+			}
+			for _, s := range c.Body {
+				sb.WriteByte(' ')
+				dump(sb, s)
+			}
+			sb.WriteByte(')')
+		}
+		sb.WriteByte(')')
+	case *EmptyStmt:
+		sb.WriteString("(empty)")
+	case *Ident:
+		sb.WriteString(x.Name)
+	case *NumberLit:
+		fmt.Fprintf(sb, "%g", x.Value)
+	case *StringLit:
+		fmt.Fprintf(sb, "%q", x.Value)
+	case *BoolLit:
+		fmt.Fprintf(sb, "%t", x.Value)
+	case *NullLit:
+		sb.WriteString("null")
+	case *UndefinedLit:
+		sb.WriteString("undefined")
+	case *ThisExpr:
+		sb.WriteString("this")
+	case *ArrayLit:
+		sb.WriteString("(array")
+		for _, e := range x.Elems {
+			sb.WriteByte(' ')
+			dump(sb, e)
+		}
+		sb.WriteByte(')')
+	case *ObjectLit:
+		sb.WriteString("(object")
+		for i, k := range x.Keys {
+			fmt.Fprintf(sb, " %s:", k)
+			dump(sb, x.Values[i])
+		}
+		sb.WriteByte(')')
+	case *FuncLit:
+		sb.WriteString("(func")
+		if x.Name != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(x.Name)
+		}
+		sb.WriteString(" [")
+		sb.WriteString(strings.Join(x.Params, " "))
+		sb.WriteString("] ")
+		dump(sb, x.Body)
+		sb.WriteByte(')')
+	case *UnaryExpr:
+		fmt.Fprintf(sb, "(%s ", x.Op)
+		dump(sb, x.X)
+		sb.WriteByte(')')
+	case *UpdateExpr:
+		if x.Prefix {
+			fmt.Fprintf(sb, "(pre%s ", x.Op)
+		} else {
+			fmt.Fprintf(sb, "(post%s ", x.Op)
+		}
+		dump(sb, x.X)
+		sb.WriteByte(')')
+	case *BinaryExpr:
+		fmt.Fprintf(sb, "(%s ", x.Op)
+		dump(sb, x.L)
+		sb.WriteByte(' ')
+		dump(sb, x.R)
+		sb.WriteByte(')')
+	case *CondExpr:
+		sb.WriteString("(?: ")
+		dump(sb, x.Cond)
+		sb.WriteByte(' ')
+		dump(sb, x.Cons)
+		sb.WriteByte(' ')
+		dump(sb, x.Alt)
+		sb.WriteByte(')')
+	case *AssignExpr:
+		fmt.Fprintf(sb, "(%s ", x.Op)
+		dump(sb, x.L)
+		sb.WriteByte(' ')
+		dump(sb, x.R)
+		sb.WriteByte(')')
+	case *CallExpr:
+		sb.WriteString("(call ")
+		dump(sb, x.Fn)
+		for _, a := range x.Args {
+			sb.WriteByte(' ')
+			dump(sb, a)
+		}
+		sb.WriteByte(')')
+	case *NewExpr:
+		sb.WriteString("(new ")
+		dump(sb, x.Fn)
+		for _, a := range x.Args {
+			sb.WriteByte(' ')
+			dump(sb, a)
+		}
+		sb.WriteByte(')')
+	case *MemberExpr:
+		sb.WriteString("(. ")
+		dump(sb, x.X)
+		sb.WriteByte(' ')
+		sb.WriteString(x.Name)
+		sb.WriteByte(')')
+	case *IndexExpr:
+		sb.WriteString("([] ")
+		dump(sb, x.X)
+		sb.WriteByte(' ')
+		dump(sb, x.Index)
+		sb.WriteByte(')')
+	case *SeqExpr:
+		sb.WriteString("(seq")
+		for _, e := range x.Exprs {
+			sb.WriteByte(' ')
+			dump(sb, e)
+		}
+		sb.WriteByte(')')
+	default:
+		fmt.Fprintf(sb, "<unknown %T>", n)
+	}
+}
+
+func dumpOrNil(sb *strings.Builder, n Node) {
+	if n == nil {
+		sb.WriteString("_")
+		return
+	}
+	dump(sb, n)
+}

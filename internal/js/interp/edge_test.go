@@ -1,0 +1,293 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+	"repro/internal/js/value"
+)
+
+// ---- coercion corners ----
+
+func TestStringNumberCoercionCorners(t *testing.T) {
+	wantStr(t, `var result = "" + null;`, "null")
+	wantStr(t, `var result = "" + undefined;`, "undefined")
+	wantStr(t, `var result = "" + [1, 2];`, "1,2")
+	wantStr(t, `var result = "" + {};`, "[object Object]")
+	wantNum(t, `var result = +"";`, 0)
+	wantNum(t, `var result = +" 42 ";`, 42)
+	wantNum(t, `var result = +"x";`, math.NaN())
+	wantNum(t, `var result = null + 1;`, 1)
+	wantNum(t, `var result = true + true;`, 2)
+	wantNum(t, `var result = undefined + 1;`, math.NaN())
+	wantStr(t, `var result = 1 + "2";`, "12")
+	wantNum(t, `var result = "3" * "4";`, 12)
+	wantNum(t, `var result = "10" - 1;`, 9)
+	wantBool(t, `var result = "" == 0;`, true)
+	wantBool(t, `var result = " " == 0;`, true)
+	wantBool(t, `var result = [] == 0;`, true) // "" -> 0
+}
+
+func TestNegativeZeroAndPrecision(t *testing.T) {
+	wantBool(t, `var result = -0 === 0;`, true)
+	wantNum(t, `var result = 0.1 + 0.2;`, 0.30000000000000004)
+	wantBool(t, `var result = 0.1 + 0.2 === 0.3;`, false)
+	wantNum(t, `var result = 9007199254740992 + 1;`, 9007199254740992) // 2^53
+}
+
+// ---- scoping corners ----
+
+func TestShadowing(t *testing.T) {
+	wantNum(t, `
+		var x = 1;
+		function f() { var x = 2; return x; }
+		var result = f() + x;`, 3)
+	wantNum(t, `
+		var x = 1;
+		function f(x) { x = 99; return x; }
+		f(x);
+		var result = x;`, 1) // params are copies
+}
+
+func TestClosureSharedMutation(t *testing.T) {
+	wantNum(t, `
+		function mk() {
+			var n = 0;
+			return {
+				inc: function () { n++; },
+				get: function () { return n; }
+			};
+		}
+		var c = mk();
+		c.inc(); c.inc(); c.inc();
+		var result = c.get();`, 3)
+}
+
+func TestHoistedFunctionCallableBeforeDefinition(t *testing.T) {
+	wantNum(t, `
+		var result = early();
+		function early() { return 5; }`, 5)
+}
+
+func TestCatchScopeIsolation(t *testing.T) {
+	wantStr(t, `
+		var e = "outer";
+		try { throw "inner"; } catch (e) { /* shadows */ }
+		var result = e;`, "outer")
+}
+
+// ---- control flow corners ----
+
+func TestNestedTryFinallyOrder(t *testing.T) {
+	wantStr(t, `
+		var log = "";
+		function f() {
+			try {
+				try {
+					throw "x";
+				} finally { log += "inner;"; }
+			} catch (e) {
+				log += "caught;";
+			} finally {
+				log += "outer;";
+			}
+			return log;
+		}
+		var result = f();`, "inner;caught;outer;")
+}
+
+func TestContinueInsideNestedSwitch(t *testing.T) {
+	wantNum(t, `
+		var s = 0;
+		for (var i = 0; i < 6; i++) {
+			switch (i % 2) {
+			case 0:
+				continue;
+			}
+			s += i;
+		}
+		var result = s;`, 1+3+5)
+}
+
+func TestDoWhileRunsBodyOnce(t *testing.T) {
+	wantNum(t, `
+		var n = 0;
+		do { n++; } while (false);
+		var result = n;`, 1)
+}
+
+func TestForInSkipsDeleted(t *testing.T) {
+	wantStr(t, `
+		var o = {a: 1, b: 2, c: 3};
+		delete o.b;
+		var ks = "";
+		for (var k in o) { ks += k; }
+		var result = ks;`, "ac")
+}
+
+// ---- object corners ----
+
+func TestPrototypeMethodOverride(t *testing.T) {
+	wantStr(t, `
+		function A() {}
+		A.prototype.who = function () { return "proto"; };
+		var a = new A();
+		var before = a.who();
+		a.who = function () { return "own"; };
+		var result = before + "/" + a.who();`, "proto/own")
+}
+
+func TestConstructorReturningObject(t *testing.T) {
+	wantNum(t, `
+		function F() { this.x = 1; return {x: 42}; }
+		var result = new F().x;`, 42)
+	wantNum(t, `
+		function G() { this.x = 1; return 99; } // primitive return ignored
+		var result = new G().x;`, 1)
+}
+
+func TestInstanceofThroughChain(t *testing.T) {
+	wantBool(t, `
+		function Base() {}
+		function Derived() {}
+		Derived.prototype = new Base();
+		var d = new Derived();
+		var result = d instanceof Base;`, true)
+}
+
+func TestMethodExtractionLosesThis(t *testing.T) {
+	wantBool(t, `
+		var o = {v: 7, get: function () { return this; }};
+		var f = o.get;
+		var result = f() === undefined;`, true)
+}
+
+// ---- failure injection ----
+
+func TestDeepProgramRecursionSurfacesRangeError(t *testing.T) {
+	prog := parser.MustParse(`
+function down(n) { return n === 0 ? 0 : down(n - 1); }
+down(100000);`)
+	in := New()
+	err := in.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "RangeError") {
+		t.Fatalf("err = %v, want RangeError", err)
+	}
+}
+
+func TestStepLimitInsideCallback(t *testing.T) {
+	prog := parser.MustParse(`
+[1].forEach(function f(x) { while (true) {} });`)
+	in := New(WithMaxSteps(50_000))
+	err := in.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNullDerefInLoopIsCatchable(t *testing.T) {
+	wantNum(t, `
+		var hits = 0;
+		var xs = [1, null, 3];
+		for (var i = 0; i < xs.length; i++) {
+			try { hits += xs[i].valueOfMissing === undefined ? 1 : 0; }
+			catch (e) { hits += 100; }
+		}
+		var result = hits;`, 102)
+}
+
+func TestHooksSurviveThrowingProgram(t *testing.T) {
+	// loop hooks must stay balanced even when a throw unwinds mid-loop
+	in := New()
+	bal := &balanceHooks{}
+	in.SetHooks(bal)
+	err := in.Run(parser.MustParse(`
+try {
+  for (var i = 0; i < 10; i++) {
+    if (i === 3) { throw "stop"; }
+  }
+} catch (e) {}
+for (var j = 0; j < 2; j++) {}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.depth != 0 {
+		t.Errorf("loop enter/exit unbalanced after throw: depth %d", bal.depth)
+	}
+	if bal.maxDepth == 0 {
+		t.Error("hooks never fired")
+	}
+}
+
+type balanceHooks struct {
+	NopHooks
+	depth    int
+	maxDepth int
+}
+
+func (b *balanceHooks) LoopEnter(ast.LoopID) {
+	b.depth++
+	if b.depth > b.maxDepth {
+		b.maxDepth = b.depth
+	}
+}
+func (b *balanceHooks) LoopExit(ast.LoopID) { b.depth-- }
+
+// ---- interpreter arithmetic vs Go float64 (property) ----
+
+func TestArithmeticMatchesGoSemantics(t *testing.T) {
+	in := New()
+	prog := parser.MustParse(`function add(a,b){return a+b;} function mul(a,b){return a*b;} function div(a,b){return a/b;} function mod(a,b){return a%b;}`)
+	if err := in.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	call := func(name string, a, b float64) float64 {
+		v, err := in.SafeCall(in.Global(name), value.Undefined(),
+			[]value.Value{value.Number(a), value.Number(b)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Num()
+	}
+	f := func(a, b float64) bool {
+		if eq := call("add", a, b); eq != a+b && !(math.IsNaN(eq) && math.IsNaN(a+b)) {
+			return false
+		}
+		if eq := call("mul", a, b); eq != a*b && !(math.IsNaN(eq) && math.IsNaN(a*b)) {
+			return false
+		}
+		if eq := call("div", a, b); eq != a/b && !(math.IsNaN(eq) && math.IsNaN(a/b)) {
+			return false
+		}
+		want := math.Mod(a, b)
+		if eq := call("mod", a, b); eq != want && !(math.IsNaN(eq) && math.IsNaN(want)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- virtual clock invariants ----
+
+func TestClockMonotonicAcrossHostOps(t *testing.T) {
+	in := New()
+	t0 := in.Now()
+	in.EmitHostOp("dom", "x", 1000)
+	t1 := in.Now()
+	in.AdvanceTime(500)
+	t2 := in.Now()
+	if !(t0 < t1 && t1 < t2) {
+		t.Errorf("clock not monotonic: %d %d %d", t0, t1, t2)
+	}
+	if in.ScriptTime() != t1 {
+		t.Errorf("idle counted as script time")
+	}
+}

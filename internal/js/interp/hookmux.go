@@ -1,0 +1,158 @@
+package interp
+
+import (
+	"repro/internal/js/ast"
+	"repro/internal/js/value"
+)
+
+// NopHooks implements Hooks with no-ops; embed it to implement only the
+// events an analyzer cares about.
+type NopHooks struct{}
+
+// LoopEnter implements Hooks.
+func (NopHooks) LoopEnter(ast.LoopID) {}
+
+// LoopIter implements Hooks.
+func (NopHooks) LoopIter(ast.LoopID) {}
+
+// LoopExit implements Hooks.
+func (NopHooks) LoopExit(ast.LoopID) {}
+
+// LoopHeader implements Hooks.
+func (NopHooks) LoopHeader(ast.LoopID, bool) {}
+
+// BranchTaken implements Hooks.
+func (NopHooks) BranchTaken(int, bool) {}
+
+// CallEnter implements Hooks.
+func (NopHooks) CallEnter(string) {}
+
+// CallExit implements Hooks.
+func (NopHooks) CallExit(string) {}
+
+// VarDeclare implements Hooks.
+func (NopHooks) VarDeclare(string, *Binding) {}
+
+// VarRead implements Hooks.
+func (NopHooks) VarRead(string, *Binding) {}
+
+// VarWrite implements Hooks.
+func (NopHooks) VarWrite(string, *Binding) {}
+
+// ObjectNew implements Hooks.
+func (NopHooks) ObjectNew(*value.Object) {}
+
+// PropRead implements Hooks.
+func (NopHooks) PropRead(*value.Object, string, *Binding) {}
+
+// PropWrite implements Hooks.
+func (NopHooks) PropWrite(*value.Object, string, *Binding) {}
+
+// MultiHooks fans every event out to a list of hook implementations, so a
+// profiler and a sampler can observe the same run.
+type MultiHooks struct{ List []Hooks }
+
+// NewMultiHooks combines hooks; nil entries are dropped.
+func NewMultiHooks(hooks ...Hooks) *MultiHooks {
+	m := &MultiHooks{}
+	for _, h := range hooks {
+		if h != nil {
+			m.List = append(m.List, h)
+		}
+	}
+	return m
+}
+
+// LoopEnter implements Hooks.
+func (m *MultiHooks) LoopEnter(id ast.LoopID) {
+	for _, h := range m.List {
+		h.LoopEnter(id)
+	}
+}
+
+// LoopIter implements Hooks.
+func (m *MultiHooks) LoopIter(id ast.LoopID) {
+	for _, h := range m.List {
+		h.LoopIter(id)
+	}
+}
+
+// LoopExit implements Hooks.
+func (m *MultiHooks) LoopExit(id ast.LoopID) {
+	for _, h := range m.List {
+		h.LoopExit(id)
+	}
+}
+
+// LoopHeader implements Hooks.
+func (m *MultiHooks) LoopHeader(id ast.LoopID, active bool) {
+	for _, h := range m.List {
+		h.LoopHeader(id, active)
+	}
+}
+
+// BranchTaken implements Hooks.
+func (m *MultiHooks) BranchTaken(id int, taken bool) {
+	for _, h := range m.List {
+		h.BranchTaken(id, taken)
+	}
+}
+
+// CallEnter implements Hooks.
+func (m *MultiHooks) CallEnter(name string) {
+	for _, h := range m.List {
+		h.CallEnter(name)
+	}
+}
+
+// CallExit implements Hooks.
+func (m *MultiHooks) CallExit(name string) {
+	for _, h := range m.List {
+		h.CallExit(name)
+	}
+}
+
+// VarDeclare implements Hooks.
+func (m *MultiHooks) VarDeclare(name string, b *Binding) {
+	for _, h := range m.List {
+		h.VarDeclare(name, b)
+	}
+}
+
+// VarRead implements Hooks.
+func (m *MultiHooks) VarRead(name string, b *Binding) {
+	for _, h := range m.List {
+		h.VarRead(name, b)
+	}
+}
+
+// VarWrite implements Hooks.
+func (m *MultiHooks) VarWrite(name string, b *Binding) {
+	for _, h := range m.List {
+		h.VarWrite(name, b)
+	}
+}
+
+// ObjectNew implements Hooks.
+func (m *MultiHooks) ObjectNew(o *value.Object) {
+	for _, h := range m.List {
+		h.ObjectNew(o)
+	}
+}
+
+// PropRead implements Hooks.
+func (m *MultiHooks) PropRead(o *value.Object, key string, via *Binding) {
+	for _, h := range m.List {
+		h.PropRead(o, key, via)
+	}
+}
+
+// PropWrite implements Hooks.
+func (m *MultiHooks) PropWrite(o *value.Object, key string, via *Binding) {
+	for _, h := range m.List {
+		h.PropWrite(o, key, via)
+	}
+}
+
+var _ Hooks = (*MultiHooks)(nil)
+var _ Hooks = NopHooks{}

@@ -1,0 +1,360 @@
+// Package lexer implements a hand-written scanner for the JavaScript
+// subset. It produces the token stream consumed by the parser and by the
+// proxy's source rewriter.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/js/token"
+)
+
+// Lexer scans JavaScript source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int // byte offset of next unread char
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the scan errors accumulated so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("lex %s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+func (l *Lexer) advance() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := token.Pos{Line: l.line, Col: l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. After EOF it keeps returning EOF.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := token.Pos{Line: l.line, Col: l.col}
+	c := l.peek()
+	if c == 0 {
+		return token.Token{Type: token.EOF, Pos: pos}
+	}
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for isIdentPart(l.peek()) {
+			l.advance()
+		}
+		lit := l.src[start:l.pos]
+		return token.Token{Type: token.Lookup(lit), Literal: lit, Pos: pos}
+	case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+		return l.scanNumber(pos)
+	case c == '"' || c == '\'':
+		return l.scanString(pos)
+	}
+
+	l.advance()
+	mk := func(t token.Type) token.Token {
+		return token.Token{Type: t, Literal: t.String(), Pos: pos}
+	}
+	// two/three-char operator helper: consume if next chars match
+	match := func(b byte) bool {
+		if l.peek() == b {
+			l.advance()
+			return true
+		}
+		return false
+	}
+
+	switch c {
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case '[':
+		return mk(token.LBRACKET)
+	case ']':
+		return mk(token.RBRACKET)
+	case ',':
+		return mk(token.COMMA)
+	case ';':
+		return mk(token.SEMI)
+	case ':':
+		return mk(token.COLON)
+	case '?':
+		return mk(token.QUESTION)
+	case '.':
+		return mk(token.DOT)
+	case '~':
+		return mk(token.BITNOT)
+	case '+':
+		if match('+') {
+			return mk(token.INC)
+		}
+		if match('=') {
+			return mk(token.PLUSASSIGN)
+		}
+		return mk(token.PLUS)
+	case '-':
+		if match('-') {
+			return mk(token.DEC)
+		}
+		if match('=') {
+			return mk(token.MINUSASSIGN)
+		}
+		return mk(token.MINUS)
+	case '*':
+		if match('=') {
+			return mk(token.STARASSIGN)
+		}
+		return mk(token.STAR)
+	case '/':
+		if match('=') {
+			return mk(token.SLASHASSIGN)
+		}
+		return mk(token.SLASH)
+	case '%':
+		if match('=') {
+			return mk(token.PERCENTASSIGN)
+		}
+		return mk(token.PERCENT)
+	case '&':
+		if match('&') {
+			return mk(token.LAND)
+		}
+		if match('=') {
+			return mk(token.ANDASSIGN)
+		}
+		return mk(token.AND)
+	case '|':
+		if match('|') {
+			return mk(token.LOR)
+		}
+		if match('=') {
+			return mk(token.ORASSIGN)
+		}
+		return mk(token.OR)
+	case '^':
+		if match('=') {
+			return mk(token.XORASSIGN)
+		}
+		return mk(token.XOR)
+	case '!':
+		if match('=') {
+			if match('=') {
+				return mk(token.STRICTNE)
+			}
+			return mk(token.NEQ)
+		}
+		return mk(token.NOT)
+	case '=':
+		if match('=') {
+			if match('=') {
+				return mk(token.STRICTEQ)
+			}
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '<':
+		if match('<') {
+			if match('=') {
+				return mk(token.SHLASSIGN)
+			}
+			return mk(token.SHL)
+		}
+		if match('=') {
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if match('>') {
+			if match('>') {
+				if match('=') {
+					return mk(token.USHRASSIGN)
+				}
+				return mk(token.USHR)
+			}
+			if match('=') {
+				return mk(token.SHRASSIGN)
+			}
+			return mk(token.SHR)
+		}
+		if match('=') {
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	}
+
+	l.errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Type: token.ILLEGAL, Literal: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.pos
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.errorf(pos, "malformed hex literal")
+		}
+		for isHexDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Type: token.NUMBER, Literal: l.src[start:l.pos], Pos: pos}
+	}
+	for isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			// not an exponent after all (e.g. `1e` followed by ident char)
+			l.pos = save
+		} else {
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	return token.Token{Type: token.NUMBER, Literal: l.src[start:l.pos], Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		c := l.peek()
+		if c == 0 || c == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\\' {
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Type: token.STRING, Literal: sb.String(), Pos: pos}
+}
+
+// ScanAll tokenizes the whole input, excluding the trailing EOF token.
+func ScanAll(src string) ([]token.Token, []error) {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		if t.Type == token.EOF {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, l.Errors()
+}

@@ -1,0 +1,67 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	if Lookup("while") != WHILE || Lookup("function") != FUNCTION {
+		t.Error("keyword lookup")
+	}
+	if Lookup("whilee") != IDENT || Lookup("Function") != IDENT || Lookup("") != IDENT {
+		t.Error("non-keywords must be IDENT")
+	}
+}
+
+func TestIsAssign(t *testing.T) {
+	yes := []Type{ASSIGN, PLUSASSIGN, MINUSASSIGN, STARASSIGN, SLASHASSIGN,
+		PERCENTASSIGN, ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN, USHRASSIGN}
+	for _, tt := range yes {
+		if !tt.IsAssign() {
+			t.Errorf("%v.IsAssign() = false", tt)
+		}
+	}
+	no := []Type{PLUS, EQ, LT, IDENT, NUMBER, INC, LAND}
+	for _, tt := range no {
+		if tt.IsAssign() {
+			t.Errorf("%v.IsAssign() = true", tt)
+		}
+	}
+}
+
+func TestCompoundOp(t *testing.T) {
+	cases := map[Type]Type{
+		PLUSASSIGN: PLUS, MINUSASSIGN: MINUS, STARASSIGN: STAR,
+		SLASHASSIGN: SLASH, PERCENTASSIGN: PERCENT, ANDASSIGN: AND,
+		ORASSIGN: OR, XORASSIGN: XOR, SHLASSIGN: SHL, SHRASSIGN: SHR,
+		USHRASSIGN: USHR,
+	}
+	for compound, want := range cases {
+		if got := compound.CompoundOp(); got != want {
+			t.Errorf("%v.CompoundOp() = %v, want %v", compound, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CompoundOp on plain ASSIGN must panic")
+		}
+	}()
+	ASSIGN.CompoundOp()
+}
+
+func TestStrings(t *testing.T) {
+	if PLUS.String() != "+" || USHRASSIGN.String() != ">>>=" || FUNCTION.String() != "function" {
+		t.Error("type strings")
+	}
+	if Type(9999).String() == "" {
+		t.Error("unknown type string empty")
+	}
+	tok := Token{Type: NUMBER, Literal: "42", Pos: Pos{Line: 3, Col: 7}}
+	if tok.String() != `NUMBER("42")` {
+		t.Errorf("token string = %q", tok.String())
+	}
+	if tok.Pos.String() != "3:7" {
+		t.Errorf("pos = %q", tok.Pos.String())
+	}
+	if (Token{Type: LBRACE}).String() != "{" {
+		t.Error("punct token string")
+	}
+}

@@ -1,0 +1,155 @@
+// Package parallel demonstrates that the latent data parallelism
+// JS-CERES finds is real: loops whose iterations the dependence analysis
+// clears are executed across goroutines — one interpreter instance per
+// worker, share-nothing, in the spirit of River Trail's map/reduce model
+// that the paper recommends libraries adopt (§5.1).
+//
+// The executor also cross-checks safety: parallel results must be
+// bit-identical to sequential execution, which holds exactly when the
+// kernel really is iteration-independent.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/value"
+)
+
+// Kernel is a data-parallel loop body: JavaScript source that defines
+// `function kernel(i) { ... return v; }` plus optional setup installing
+// read-only inputs as globals.
+type Kernel struct {
+	// Source defines kernel(i) and any helpers/constants it needs.
+	Source string
+	// Setup installs host data (input arrays, parameters) into an
+	// interpreter instance. It runs once per worker; the installed data
+	// must be treated as read-only by the kernel.
+	Setup func(in *interp.Interp) error
+	// Seed for each worker's deterministic Math.random.
+	Seed uint64
+}
+
+// Result is the outcome of a map execution.
+type Result struct {
+	Values  []value.Value
+	Workers int
+}
+
+type workerState struct {
+	in   *interp.Interp
+	prog *ast.Program
+	fn   value.Value
+}
+
+func (k *Kernel) newWorker() (*workerState, error) {
+	prog, err := parser.Parse(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: parse kernel: %w", err)
+	}
+	in := interp.New(interp.WithSeed(k.Seed))
+	if k.Setup != nil {
+		if err := k.Setup(in); err != nil {
+			return nil, fmt.Errorf("parallel: setup: %w", err)
+		}
+	}
+	if err := in.Run(prog); err != nil {
+		return nil, fmt.Errorf("parallel: load kernel: %w", err)
+	}
+	fn := in.Global("kernel")
+	if !fn.IsCallable() {
+		return nil, fmt.Errorf("parallel: kernel source does not define kernel(i)")
+	}
+	return &workerState{in: in, prog: prog, fn: fn}, nil
+}
+
+// MapSequential runs kernel(i) for i in [0, n) on one interpreter.
+func (k *Kernel) MapSequential(n int) (*Result, error) {
+	w, err := k.newWorker()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Value, n)
+	for i := 0; i < n; i++ {
+		v, err := w.in.SafeCall(w.fn, value.Undefined(), []value.Value{value.Int(i)})
+		if err != nil {
+			return nil, fmt.Errorf("parallel: kernel(%d): %w", i, err)
+		}
+		out[i] = v
+	}
+	return &Result{Values: out, Workers: 1}, nil
+}
+
+// MapParallel runs kernel(i) for i in [0, n) across `workers` goroutines
+// (0 = GOMAXPROCS), each with its own share-nothing interpreter.
+func (k *Kernel) MapParallel(n, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return k.MapSequential(n)
+	}
+
+	out := make([]value.Value, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := k.newWorker()
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			// contiguous chunking: worker wi handles [lo, hi)
+			lo := wi * n / workers
+			hi := (wi + 1) * n / workers
+			for i := lo; i < hi; i++ {
+				v, err := w.in.SafeCall(w.fn, value.Undefined(), []value.Value{value.Int(i)})
+				if err != nil {
+					errs[wi] = fmt.Errorf("parallel: kernel(%d): %w", i, err)
+					return
+				}
+				out[i] = v
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Values: out, Workers: workers}, nil
+}
+
+// Equal reports whether two results hold strictly equal values.
+func Equal(a, b *Result) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if !value.StrictEquals(a.Values[i], b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReduceNumbers folds numeric results with a Go-side reduction, the
+// pattern River Trail exposes as reduce().
+func ReduceNumbers(r *Result, init float64, f func(acc, x float64) float64) float64 {
+	acc := init
+	for _, v := range r.Values {
+		acc = f(acc, v.ToNumber())
+	}
+	return acc
+}

@@ -1,0 +1,190 @@
+// Package proxy implements the JS-CERES instrumentation proxy of Fig. 5:
+// an HTTP server that sits between the browser and the web server,
+// rewrites JavaScript responses on the way through (step 2), accepts the
+// analysis results the instrumented page posts back (step 5), and saves
+// human-readable reports paired with the original sources (step 6; the
+// paper pushes them to github.com — here they go to a local report
+// directory, which is the substitution DESIGN.md documents).
+package proxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/instrument"
+)
+
+// Proxy is the instrumenting reverse proxy.
+type Proxy struct {
+	// Origin is the upstream web server base URL.
+	Origin *url.URL
+	// Mode selects the injected instrumentation stage.
+	Mode instrument.Mode
+	// ReportDir receives result reports ("github" substitute).
+	ReportDir string
+	// Client performs upstream requests (http.DefaultClient by default).
+	Client *http.Client
+
+	mu      sync.Mutex
+	results []Report
+	// Instrumented counts rewritten responses.
+	Instrumented int
+	// Passthrough counts untouched responses.
+	Passthrough int
+	// Failures counts unparsable scripts passed through unmodified.
+	Failures int
+}
+
+// Report is one result upload from the exercised page.
+type Report struct {
+	Path     string          `json:"path"`
+	Received time.Time       `json:"received"`
+	Body     json.RawMessage `json:"body"`
+}
+
+// New returns a proxy for the given origin.
+func New(origin string, mode instrument.Mode, reportDir string) (*Proxy, error) {
+	u, err := url.Parse(origin)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: origin: %w", err)
+	}
+	return &Proxy{Origin: u, Mode: mode, ReportDir: reportDir, Client: http.DefaultClient}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/__ceres/results" && r.Method == http.MethodPost {
+		p.handleResults(w, r)
+		return
+	}
+	p.forward(w, r)
+}
+
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
+	up := *p.Origin
+	up.Path = r.URL.Path
+	up.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequest(r.Method, up.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	ct := resp.Header.Get("Content-Type")
+	if resp.StatusCode == http.StatusOK && isJavaScript(ct, r.URL.Path) {
+		if rewritten, err := instrument.Rewrite(string(body), p.Mode); err == nil {
+			body = []byte(rewritten.Source)
+			p.mu.Lock()
+			p.Instrumented++
+			p.mu.Unlock()
+		} else {
+			// Step 2 must never break the page: unparsable scripts pass
+			// through untouched.
+			p.mu.Lock()
+			p.Failures++
+			p.mu.Unlock()
+		}
+	} else {
+		p.mu.Lock()
+		p.Passthrough++
+		p.mu.Unlock()
+	}
+
+	for k, vs := range resp.Header {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+func isJavaScript(contentType, path string) bool {
+	if strings.Contains(contentType, "javascript") {
+		return true
+	}
+	return strings.HasSuffix(path, ".js")
+}
+
+func (p *Proxy) handleResults(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !json.Valid(body) {
+		http.Error(w, "proxy: results must be JSON", http.StatusBadRequest)
+		return
+	}
+	rep := Report{
+		Path:     r.URL.Query().Get("page"),
+		Received: time.Now(),
+		Body:     json.RawMessage(body),
+	}
+	p.mu.Lock()
+	p.results = append(p.results, rep)
+	n := len(p.results)
+	p.mu.Unlock()
+
+	if p.ReportDir != "" {
+		if err := p.saveReport(n, rep); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// saveReport writes the human-readable report file (Fig. 5 step 6).
+func (p *Proxy) saveReport(seq int, rep Report) error {
+	if err := os.MkdirAll(p.ReportDir, 0o755); err != nil {
+		return err
+	}
+	var pretty map[string]any
+	if err := json.Unmarshal(rep.Body, &pretty); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "JS-CERES report #%d\npage: %s\nreceived: %s\n\n",
+		seq, rep.Path, rep.Received.Format(time.RFC3339))
+	enc, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		return err
+	}
+	sb.Write(enc)
+	sb.WriteByte('\n')
+	name := filepath.Join(p.ReportDir, fmt.Sprintf("report-%03d.txt", seq))
+	return os.WriteFile(name, []byte(sb.String()), 0o644)
+}
+
+// Results returns the received reports.
+func (p *Proxy) Results() []Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Report, len(p.results))
+	copy(out, p.results)
+	return out
+}

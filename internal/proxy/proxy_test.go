@@ -1,0 +1,182 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/instrument"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/value"
+)
+
+const pageJS = `
+var sum = 0;
+for (var i = 0; i < 200; i++) {
+  sum += i;
+}
+`
+
+// newOrigin serves a tiny "web server" (Fig. 5 left box).
+func newOrigin() *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app.js", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, pageJS)
+	})
+	mux.HandleFunc("/broken.js", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, "function ( { this is not js")
+	})
+	mux.HandleFunc("/index.html", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><script src=app.js></script></html>")
+	})
+	return httptest.NewServer(mux)
+}
+
+func newProxy(t *testing.T, origin string, dir string) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := New(origin, instrument.ModeLight, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+// TestFig5EndToEnd walks the whole Fig. 5 pipeline: request through the
+// proxy (1), instrumentation (2-3), exercising the app in the
+// interpreter-as-browser (4), posting results (5), and the saved
+// human-readable report (6-7).
+func TestFig5EndToEnd(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	dir := t.TempDir()
+	p, srv := newProxy(t, origin.URL, dir)
+
+	// 1-3: the browser requests the script; the proxy instruments it.
+	src, resp := get(t, srv.URL+"/app.js")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(src, "__ceresEnter") {
+		t.Fatalf("response not instrumented:\n%s", src)
+	}
+
+	// 4: the browser runs the instrumented page.
+	in := interp.New()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("instrumented script does not parse: %v", err)
+	}
+	if err := in.Run(prog); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := in.Global("sum").Num(); got != 19900 {
+		t.Fatalf("sum = %v, want 19900 (behaviour preserved)", got)
+	}
+
+	// 5: the page sends its report back through the proxy.
+	rep, err := in.SafeCall(in.Global("__ceresReport"), value.Undefined(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := map[string]any{
+		"totalMs":   rep.Object().GetNumber("totalMs"),
+		"inLoopsMs": rep.Object().GetNumber("inLoopsMs"),
+	}
+	body, _ := json.Marshal(payload)
+	post, err := http.Post(srv.URL+"/__ceres/results?page=/app.js", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusNoContent {
+		t.Fatalf("results status %d", post.StatusCode)
+	}
+
+	// 6-7: the proxy saved a readable report.
+	if got := len(p.Results()); got != 1 {
+		t.Fatalf("%d reports, want 1", got)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "report-*.txt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("report files: %v, %v", files, err)
+	}
+	content, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "inLoopsMs") || !strings.Contains(string(content), "/app.js") {
+		t.Errorf("report content unexpected:\n%s", content)
+	}
+	if p.Instrumented != 1 {
+		t.Errorf("Instrumented = %d, want 1", p.Instrumented)
+	}
+}
+
+func TestProxyPassesThroughHTML(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	p, srv := newProxy(t, origin.URL, "")
+	body, _ := get(t, srv.URL+"/index.html")
+	if strings.Contains(body, "__ceres") {
+		t.Errorf("HTML was instrumented: %s", body)
+	}
+	if p.Passthrough != 1 {
+		t.Errorf("Passthrough = %d, want 1", p.Passthrough)
+	}
+}
+
+func TestProxyFailsafeOnBrokenJS(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	p, srv := newProxy(t, origin.URL, "")
+	body, resp := get(t, srv.URL+"/broken.js")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body != "function ( { this is not js" {
+		t.Errorf("broken script modified: %q", body)
+	}
+	if p.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", p.Failures)
+	}
+}
+
+func TestProxyRejectsBadResults(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	_, srv := newProxy(t, origin.URL, "")
+	resp, err := http.Post(srv.URL+"/__ceres/results", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,461 @@
+// Package refactor implements the loop-to-functional refactoring the
+// paper's §5.3 calls for: "Refactoring tools that can transform imperative
+// iteration into functional style could make these loops amenable to
+// parallelism via libraries with parallel operators such as RiverTrail"
+// (citing Gyori et al., FSE'13).
+//
+// ForEach rewrites canonical index loops
+//
+//	for (var i = 0; i < arr.length; i++) { ... arr[i] ... }
+//
+// into
+//
+//	arr.forEach(function (elem, i) { ... elem ... });
+//
+// when the transformation is behaviour-preserving. The payoff is exactly
+// the paper's §3.3 forEach observation: variables declared in the body
+// become per-iteration, so JS-CERES's spurious function-scoping warnings
+// disappear and the loop becomes a parallel-operator candidate.
+package refactor
+
+import (
+	"fmt"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+	"repro/internal/js/printer"
+)
+
+// Outcome describes one loop's refactoring attempt.
+type Outcome struct {
+	Loop      ast.LoopID
+	Label     string
+	Rewritten bool
+	// Reason explains why the loop was left alone.
+	Reason string
+}
+
+// Result is the output of ForEach.
+type Result struct {
+	Source   string
+	Outcomes []Outcome
+}
+
+// Rewritten counts successfully transformed loops.
+func (r *Result) Rewritten() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Rewritten {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach parses src, rewrites every eligible canonical index loop into a
+// forEach call, and prints the program back.
+func ForEach(src string) (*Result, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("refactor: %w", err)
+	}
+	res := &Result{}
+	for i := range prog.Body {
+		prog.Body[i] = rewriteStmt(prog.Body[i], prog, res)
+	}
+	res.Source = printer.Print(prog)
+	return res, nil
+}
+
+func rewriteStmt(s ast.Stmt, prog *ast.Program, res *Result) ast.Stmt {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for i := range x.Body {
+			x.Body[i] = rewriteStmt(x.Body[i], prog, res)
+		}
+	case *ast.IfStmt:
+		x.Cons = rewriteStmt(x.Cons, prog, res)
+		if x.Alt != nil {
+			x.Alt = rewriteStmt(x.Alt, prog, res)
+		}
+	case *ast.FuncDecl:
+		for i := range x.Fn.Body.Body {
+			x.Fn.Body.Body[i] = rewriteStmt(x.Fn.Body.Body[i], prog, res)
+		}
+	case *ast.WhileStmt:
+		x.Body = rewriteStmt(x.Body, prog, res)
+	case *ast.DoWhileStmt:
+		x.Body = rewriteStmt(x.Body, prog, res)
+	case *ast.ForInStmt:
+		x.Body = rewriteStmt(x.Body, prog, res)
+	case *ast.TryStmt:
+		rewriteStmt(x.Body, prog, res)
+		if x.Catch != nil {
+			rewriteStmt(x.Catch, prog, res)
+		}
+		if x.Finally != nil {
+			rewriteStmt(x.Finally, prog, res)
+		}
+	case *ast.SwitchStmt:
+		for i := range x.Cases {
+			for j := range x.Cases[i].Body {
+				x.Cases[i].Body[j] = rewriteStmt(x.Cases[i].Body[j], prog, res)
+			}
+		}
+	case *ast.ForStmt:
+		x.Body = rewriteStmt(x.Body, prog, res)
+		out := Outcome{Loop: x.Loop, Label: label(prog, x.Loop)}
+		if repl, reason := tryRewrite(x); repl != nil {
+			out.Rewritten = true
+			res.Outcomes = append(res.Outcomes, out)
+			return repl
+		} else {
+			out.Reason = reason
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return s
+}
+
+func label(prog *ast.Program, id ast.LoopID) string {
+	if idx := int(id) - 1; idx >= 0 && idx < len(prog.Loops) {
+		return prog.Loops[idx].Label()
+	}
+	return "loop(?)"
+}
+
+// tryRewrite returns the forEach replacement or (nil, reason).
+func tryRewrite(f *ast.ForStmt) (ast.Stmt, string) {
+	idx, arr, ok := canonicalHeader(f)
+	if !ok {
+		return nil, "header is not the canonical `for (var i = 0; i < a.length; i++)` shape"
+	}
+	if r := bodyBlockers(f.Body, idx, arr); r != "" {
+		return nil, r
+	}
+
+	elem := freshName(f.Body, "elem")
+	body, ok := substituteReads(f.Body, arr, idx, elem)
+	if !ok {
+		return nil, "array is aliased or written in a way substitution cannot preserve"
+	}
+	blk, isBlk := body.(*ast.BlockStmt)
+	if !isBlk {
+		blk = &ast.BlockStmt{Body: []ast.Stmt{body}}
+	}
+
+	fn := &ast.FuncLit{
+		Params: []string{elem, idx},
+		Body:   blk,
+	}
+	collectVarNames(blk, fn)
+	return &ast.ExprStmt{X: &ast.CallExpr{
+		Fn:   &ast.MemberExpr{X: &ast.Ident{Name: arr}, Name: "forEach"},
+		Args: []ast.Expr{fn},
+	}}, ""
+}
+
+// canonicalHeader matches `var i = 0; i < a.length; i++` (also `i = 0` and
+// `i += 1` / `i = i + 1` forms) and returns (indexVar, arrayVar).
+func canonicalHeader(f *ast.ForStmt) (idx, arr string, ok bool) {
+	// init
+	switch init := f.Init.(type) {
+	case *ast.VarDecl:
+		if len(init.Names) != 1 || init.Inits[0] == nil {
+			return "", "", false
+		}
+		n, isNum := init.Inits[0].(*ast.NumberLit)
+		if !isNum || n.Value != 0 {
+			return "", "", false
+		}
+		idx = init.Names[0]
+	case *ast.ExprStmt:
+		as, isAssign := init.X.(*ast.AssignExpr)
+		if !isAssign {
+			return "", "", false
+		}
+		id, isID := as.L.(*ast.Ident)
+		n, isNum := as.R.(*ast.NumberLit)
+		if !isID || !isNum || n.Value != 0 {
+			return "", "", false
+		}
+		idx = id.Name
+	default:
+		return "", "", false
+	}
+	// cond: idx < arr.length
+	cmp, isBin := f.Cond.(*ast.BinaryExpr)
+	if !isBin || cmp.Op.String() != "<" {
+		return "", "", false
+	}
+	l, isID := cmp.L.(*ast.Ident)
+	mem, isMem := cmp.R.(*ast.MemberExpr)
+	if !isID || l.Name != idx || !isMem || mem.Name != "length" {
+		return "", "", false
+	}
+	base, isBase := mem.X.(*ast.Ident)
+	if !isBase {
+		return "", "", false
+	}
+	arr = base.Name
+	// post: idx++ / ++idx / idx += 1 / idx = idx + 1
+	if !isIncrementOf(f.Post, idx) {
+		return "", "", false
+	}
+	return idx, arr, true
+}
+
+func isIncrementOf(e ast.Expr, idx string) bool {
+	switch p := e.(type) {
+	case *ast.UpdateExpr:
+		id, ok := p.X.(*ast.Ident)
+		return ok && id.Name == idx && p.Op.String() == "++"
+	case *ast.AssignExpr:
+		id, ok := p.L.(*ast.Ident)
+		if !ok || id.Name != idx {
+			return false
+		}
+		switch p.Op.String() {
+		case "+=":
+			n, ok := p.R.(*ast.NumberLit)
+			return ok && n.Value == 1
+		case "=":
+			add, ok := p.R.(*ast.BinaryExpr)
+			if !ok || add.Op.String() != "+" {
+				return false
+			}
+			li, lok := add.L.(*ast.Ident)
+			n, nok := add.R.(*ast.NumberLit)
+			return lok && nok && li.Name == idx && n.Value == 1
+		}
+	}
+	return false
+}
+
+// bodyBlockers rejects bodies whose semantics a forEach cannot express.
+func bodyBlockers(body ast.Stmt, idx, arr string) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.BreakStmt:
+			reason = "body contains break"
+		case *ast.ContinueStmt:
+			// continue maps to early return in the callback — but only at
+			// the loop's own level; nested loops keep theirs. Conservative:
+			// reject.
+			reason = "body contains continue"
+		case *ast.ReturnStmt:
+			reason = "body returns from the enclosing function"
+		case *ast.FuncLit:
+			return false // nested function bodies have their own control flow
+		case *ast.AssignExpr:
+			if id, ok := x.L.(*ast.Ident); ok && (id.Name == idx || id.Name == arr) {
+				reason = "body writes the index or array variable"
+			}
+		case *ast.UpdateExpr:
+			if id, ok := x.X.(*ast.Ident); ok && (id.Name == idx || id.Name == arr) {
+				reason = "body writes the index or array variable"
+			}
+		case *ast.CallExpr:
+			// mutating the array's length mid-iteration changes semantics
+			if mem, ok := x.Fn.(*ast.MemberExpr); ok {
+				if base, ok2 := mem.X.(*ast.Ident); ok2 && base.Name == arr {
+					switch mem.Name {
+					case "push", "pop", "shift", "unshift", "splice":
+						reason = "body mutates the array's length (" + mem.Name + ")"
+					}
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// substituteReads replaces read occurrences of arr[idx] with the element
+// parameter; writes keep the arr[idx] form (assigning to the callback
+// parameter would not write through).
+func substituteReads(body ast.Stmt, arr, idx, elem string) (ast.Stmt, bool) {
+	ok := true
+	var subExpr func(e ast.Expr, writeTarget bool) ast.Expr
+	var subStmt func(s ast.Stmt) ast.Stmt
+
+	isArrIdx := func(e ast.Expr) bool {
+		ix, isIx := e.(*ast.IndexExpr)
+		if !isIx {
+			return false
+		}
+		base, okB := ix.X.(*ast.Ident)
+		i, okI := ix.Index.(*ast.Ident)
+		return okB && okI && base.Name == arr && i.Name == idx
+	}
+
+	subExpr = func(e ast.Expr, writeTarget bool) ast.Expr {
+		if e == nil {
+			return nil
+		}
+		if isArrIdx(e) && !writeTarget {
+			return &ast.Ident{TokPos: e.Pos(), Name: elem}
+		}
+		switch x := e.(type) {
+		case *ast.AssignExpr:
+			x.L = subExpr(x.L, true)
+			x.R = subExpr(x.R, false)
+		case *ast.UpdateExpr:
+			x.X = subExpr(x.X, true)
+		case *ast.BinaryExpr:
+			x.L = subExpr(x.L, false)
+			x.R = subExpr(x.R, false)
+		case *ast.UnaryExpr:
+			x.X = subExpr(x.X, false)
+		case *ast.CondExpr:
+			x.Cond = subExpr(x.Cond, false)
+			x.Cons = subExpr(x.Cons, false)
+			x.Alt = subExpr(x.Alt, false)
+		case *ast.CallExpr:
+			x.Fn = subExpr(x.Fn, false)
+			for i := range x.Args {
+				x.Args[i] = subExpr(x.Args[i], false)
+			}
+		case *ast.NewExpr:
+			x.Fn = subExpr(x.Fn, false)
+			for i := range x.Args {
+				x.Args[i] = subExpr(x.Args[i], false)
+			}
+		case *ast.MemberExpr:
+			x.X = subExpr(x.X, writeTarget)
+		case *ast.IndexExpr:
+			x.X = subExpr(x.X, false)
+			x.Index = subExpr(x.Index, false)
+		case *ast.SeqExpr:
+			for i := range x.Exprs {
+				x.Exprs[i] = subExpr(x.Exprs[i], false)
+			}
+		case *ast.ArrayLit:
+			for i := range x.Elems {
+				x.Elems[i] = subExpr(x.Elems[i], false)
+			}
+		case *ast.ObjectLit:
+			for i := range x.Values {
+				x.Values[i] = subExpr(x.Values[i], false)
+			}
+		case *ast.FuncLit:
+			// closures capturing arr/idx keep their references untouched
+			return x
+		}
+		return e
+	}
+
+	subStmt = func(s ast.Stmt) ast.Stmt {
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			for i := range x.Body {
+				x.Body[i] = subStmt(x.Body[i])
+			}
+		case *ast.ExprStmt:
+			x.X = subExpr(x.X, false)
+		case *ast.VarDecl:
+			for i := range x.Inits {
+				if x.Inits[i] != nil {
+					x.Inits[i] = subExpr(x.Inits[i], false)
+				}
+			}
+		case *ast.IfStmt:
+			x.Cond = subExpr(x.Cond, false)
+			x.Cons = subStmt(x.Cons)
+			if x.Alt != nil {
+				x.Alt = subStmt(x.Alt)
+			}
+		case *ast.ForStmt:
+			if x.Init != nil {
+				x.Init = subStmt(x.Init)
+			}
+			if x.Cond != nil {
+				x.Cond = subExpr(x.Cond, false)
+			}
+			if x.Post != nil {
+				x.Post = subExpr(x.Post, false)
+			}
+			x.Body = subStmt(x.Body)
+		case *ast.WhileStmt:
+			x.Cond = subExpr(x.Cond, false)
+			x.Body = subStmt(x.Body)
+		case *ast.DoWhileStmt:
+			x.Body = subStmt(x.Body)
+			x.Cond = subExpr(x.Cond, false)
+		case *ast.ForInStmt:
+			x.Obj = subExpr(x.Obj, false)
+			x.Body = subStmt(x.Body)
+		case *ast.ThrowStmt:
+			x.X = subExpr(x.X, false)
+		case *ast.SwitchStmt:
+			x.Disc = subExpr(x.Disc, false)
+			for i := range x.Cases {
+				if x.Cases[i].Test != nil {
+					x.Cases[i].Test = subExpr(x.Cases[i].Test, false)
+				}
+				for j := range x.Cases[i].Body {
+					x.Cases[i].Body[j] = subStmt(x.Cases[i].Body[j])
+				}
+			}
+		}
+		return s
+	}
+
+	return subStmt(body), ok
+}
+
+// freshName picks a callback parameter name not used in the body.
+func freshName(body ast.Stmt, base string) string {
+	used := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		if vd, ok := n.(*ast.VarDecl); ok {
+			for _, nm := range vd.Names {
+				used[nm] = true
+			}
+		}
+		return true
+	})
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// collectVarNames fills the FuncLit's hoisting metadata so the interpreter
+// treats body vars as locals of the new callback.
+func collectVarNames(blk *ast.BlockStmt, fn *ast.FuncLit) {
+	seen := map[string]bool{}
+	ast.Inspect(blk, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if x != fn {
+				return false
+			}
+		case *ast.VarDecl:
+			for _, nm := range x.Names {
+				if !seen[nm] {
+					seen[nm] = true
+					fn.VarNames = append(fn.VarNames, nm)
+				}
+			}
+		case *ast.ForInStmt:
+			if x.Declare && !seen[x.Name] {
+				seen[x.Name] = true
+				fn.VarNames = append(fn.VarNames, x.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/study"
+	"repro/internal/survey"
+	"repro/internal/workloads"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1(workloads.All())
+	for _, want := range []string{"HAAR.js", "Tear-able Cloth", "D3.js", "Games", "Visualization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 13 {
+		t.Errorf("Table 1 has %d lines, want 12 apps + header", lines)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	rows := []study.Table2Row{
+		{Name: "app-a", TotalS: 10, ActiveS: 5, LoopsS: 7, ScriptS: 8, PaperTotalS: 12, PaperActiveS: 6, PaperLoopsS: 8},
+		{Name: "app-b", TotalS: 20, ActiveS: 1, LoopsS: 0.5, ScriptS: 1},
+	}
+	out := Table2(rows)
+	if !strings.Contains(out, "app-a") || !strings.Contains(out, "(12)") {
+		t.Errorf("paper values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "compute-intensive: 1/2") {
+		t.Errorf("summary line wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Active < In-Loops") {
+		t.Errorf("anomaly note missing:\n%s", out)
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	rows := []study.Table3Row{
+		{App: "x", NestReport: core.NestReport{Label: "for(line 3)", PctLoop: 80, Instanc: 10,
+			TripMean: 100, TripStd: 5, Divergence: core.DivLittle, DOMAccess: false,
+			DepDiff: core.Easy, ParDiff: core.Easy}},
+		{App: "x", NestReport: core.NestReport{Label: "for(line 9)", PctLoop: 15, Instanc: 2,
+			TripMean: 4, Divergence: core.DivYes, DOMAccess: true,
+			DepDiff: core.VeryHard, ParDiff: core.VeryHard, PromotedFrom: 1}},
+	}
+	out := Table3(rows)
+	if !strings.Contains(out, "100±5") {
+		t.Errorf("trips column:\n%s", out)
+	}
+	if !strings.Contains(out, "very hard") || !strings.Contains(out, "little") {
+		t.Errorf("judgment columns:\n%s", out)
+	}
+	if !strings.Contains(out, "(inner)") {
+		t.Errorf("promoted marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "intrinsic parallelism: 1/2") {
+		t.Errorf("parallelizable summary:\n%s", out)
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	c := survey.Generate(42)
+	rows, valid := survey.Figure1(c, survey.NewCoder())
+	f1 := Figure1(rows, valid)
+	if !strings.Contains(f1, "Games") || !strings.Contains(f1, "#") {
+		t.Errorf("Figure 1:\n%s", f1)
+	}
+	f2 := Figure2(survey.Figure2(c))
+	if !strings.Contains(f2, "resource loading") || !strings.Contains(f2, "52%") {
+		t.Errorf("Figure 2:\n%s", f2)
+	}
+	f3 := ScaleFigure("Figure 3.", "functional", "imperative", survey.Figure3(c))
+	if !strings.Contains(f3, "166 answers") {
+		t.Errorf("Figure 3:\n%s", f3)
+	}
+}
+
+func TestFortunaRendering(t *testing.T) {
+	rows := []study.FortunaRow{
+		{App: "a", Tasks: 10, Limit: 2.5, WorkMS: 100, CritMS: 40},
+		{App: "b", Tasks: 5, Limit: 1.0, WorkMS: 50, CritMS: 50},
+	}
+	out := Fortuna(rows)
+	if !strings.Contains(out, "average limit: 1.75x") {
+		t.Errorf("average:\n%s", out)
+	}
+}
+
+func TestAmdahlRendering(t *testing.T) {
+	results := []*study.AppResult{
+		{Workload: &workloads.Workload{Name: "fast"}, AmdahlEasy: 5, AmdahlBreakable: 6, Amdahl16: 4},
+		{Workload: &workloads.Workload{Name: "slow"}, AmdahlEasy: 1, AmdahlBreakable: 1, Amdahl16: 1},
+	}
+	out := Amdahl(results)
+	if !strings.Contains(out, "bound > 3x: 1") {
+		t.Errorf("Amdahl:\n%s", out)
+	}
+}
+
+func TestBarClamping(t *testing.T) {
+	if got := bar(150, 10); got != "##########" {
+		t.Errorf("over-100%% bar = %q", got)
+	}
+	if got := bar(-5, 10); got != ".........." {
+		t.Errorf("negative bar = %q", got)
+	}
+}

@@ -1,0 +1,263 @@
+// Package rivertrail implements the high-level data-parallel collection
+// API the paper recommends (§5.1: "libraries can take a functional
+// approach to exposing data parallelism (like RiverTrail did)"), with the
+// §5.3 requirement that speculative parallelization "not only ... abort
+// when it fails to run a loop in parallel, but also have ways to report to
+// the developer the reason for aborting."
+//
+// Install adds a ParallelArray(arr) constructor to an interpreter. Its
+// mapPar/filterPar/reducePar methods run the elemental function under a
+// purity guard built on JS-CERES's instrumentation: writes to state that
+// predates the call (captured variables, external objects) are detected
+// at runtime, the parallel plan is aborted, execution falls back to the
+// sequential semantics, and the reason — which variable or property the
+// kernel mutated — is reported through RiverTrailReport().
+package rivertrail
+
+import (
+	"fmt"
+
+	"repro/internal/js/interp"
+	"repro/internal/js/value"
+)
+
+// Report describes the last ParallelArray operation.
+type Report struct {
+	// Op is "mapPar", "filterPar" or "reducePar".
+	Op string
+	// Parallel is true when the elemental function proved pure and the
+	// operation was eligible for parallel execution.
+	Parallel bool
+	// AbortReason explains a sequential fallback ("writes captured
+	// variable sum", "mutates external object <Object>.x", ...).
+	AbortReason string
+	// Elements processed.
+	Elements int
+}
+
+// State carries the API state for one interpreter.
+type State struct {
+	in   *interp.Interp
+	last Report
+}
+
+// Last returns the most recent operation report.
+func (s *State) Last() Report { return s.last }
+
+// purityGuard watches writes during elemental-function execution. Any
+// write to a binding or object that existed before the operation started
+// is a purity violation (the result array under construction is exempt).
+type purityGuard struct {
+	interp.NopHooks
+	active   bool
+	epoch    map[any]bool // objects/bindings created during the operation
+	exempt   map[any]bool
+	violated string
+}
+
+func (g *purityGuard) VarDeclare(_ string, b *interp.Binding) {
+	if g.active {
+		g.epoch[b] = true
+	}
+}
+
+func (g *purityGuard) VarWrite(name string, b *interp.Binding) {
+	if !g.active || g.violated != "" {
+		return
+	}
+	if !g.epoch[b] && !g.exempt[b] {
+		g.violated = "writes captured variable " + name
+	}
+}
+
+func (g *purityGuard) ObjectNew(o *value.Object) {
+	if g.active {
+		g.epoch[o] = true
+	}
+}
+
+func (g *purityGuard) PropWrite(o *value.Object, key string, _ *interp.Binding) {
+	if !g.active || g.violated != "" {
+		return
+	}
+	if !g.epoch[o] && !g.exempt[o] {
+		g.violated = "mutates external object <" + o.Class + ">." + key
+	}
+}
+
+// Install wires ParallelArray and RiverTrailReport into the interpreter
+// and returns the state handle.
+func Install(in *interp.Interp) *State {
+	st := &State{in: in}
+
+	in.SetGlobal("ParallelArray", value.ObjectVal(value.NewNative("ParallelArray",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			src := argAt(args, 0)
+			if !src.IsObject() || !src.Object().IsArray() {
+				return value.Undefined(), value.ThrowTypeError("ParallelArray requires an array")
+			}
+			return st.wrap(src.Object()), nil
+		})))
+
+	in.SetGlobal("RiverTrailReport", value.ObjectVal(value.NewNative("RiverTrailReport",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			o := in.NewObject()
+			o.Set("op", value.String(st.last.Op))
+			o.Set("parallel", value.Bool(st.last.Parallel))
+			o.Set("abortReason", value.String(st.last.AbortReason))
+			o.Set("elements", value.Int(st.last.Elements))
+			return value.ObjectVal(o), nil
+		})))
+	return st
+}
+
+// wrap builds the ParallelArray object over backing storage.
+func (st *State) wrap(backing *value.Object) value.Value {
+	pa := st.in.NewObject()
+	pa.Set("length", value.Int(len(backing.Elems)))
+
+	pa.Set("mapPar", value.ObjectVal(value.NewNative("mapPar",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			fn := argAt(args, 0)
+			out := value.NewArrayN(len(backing.Elems))
+			report, err := st.runGuarded("mapPar", backing, out, func(i int, elem value.Value) error {
+				r, err := c.CallFunction(fn, value.Undefined(), []value.Value{elem, value.Int(i)})
+				if err != nil {
+					return err
+				}
+				out.Elems[i] = r
+				return nil
+			})
+			if err != nil {
+				return value.Undefined(), err
+			}
+			st.last = report
+			return st.wrap(out), nil
+		})))
+
+	pa.Set("filterPar", value.ObjectVal(value.NewNative("filterPar",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			fn := argAt(args, 0)
+			keep := make([]bool, len(backing.Elems))
+			report, err := st.runGuarded("filterPar", backing, nil, func(i int, elem value.Value) error {
+				r, err := c.CallFunction(fn, value.Undefined(), []value.Value{elem, value.Int(i)})
+				if err != nil {
+					return err
+				}
+				keep[i] = r.ToBool()
+				return nil
+			})
+			if err != nil {
+				return value.Undefined(), err
+			}
+			var elems []value.Value
+			for i, k := range keep {
+				if k {
+					elems = append(elems, backing.Elems[i])
+				}
+			}
+			out := value.NewArray(elems...)
+			st.last = report
+			return st.wrap(out), nil
+		})))
+
+	pa.Set("reducePar", value.ObjectVal(value.NewNative("reducePar",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			fn := argAt(args, 0)
+			if len(backing.Elems) == 0 {
+				return argAt(args, 1), nil
+			}
+			acc := backing.Elems[0]
+			start := 1
+			if len(args) > 1 {
+				acc = args[1]
+				start = 0
+			}
+			// Reduction order is implementation-defined in River Trail;
+			// the guard still demands elemental purity.
+			report, err := st.runGuardedRange("reducePar", backing, start, func(i int, elem value.Value) error {
+				r, err := c.CallFunction(fn, value.Undefined(), []value.Value{acc, elem, value.Int(i)})
+				if err != nil {
+					return err
+				}
+				acc = r
+				return nil
+			})
+			if err != nil {
+				return value.Undefined(), err
+			}
+			st.last = report
+			return acc, nil
+		})))
+
+	pa.Set("get", value.ObjectVal(value.NewNative("get",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			i := int(argAt(args, 0).ToNumber())
+			if i < 0 || i >= len(backing.Elems) {
+				return value.Undefined(), nil
+			}
+			return backing.Elems[i], nil
+		})))
+
+	pa.Set("toArray", value.ObjectVal(value.NewNative("toArray",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			return value.ObjectVal(st.in.NewArray(append([]value.Value{}, backing.Elems...)...)), nil
+		})))
+
+	return value.ObjectVal(pa)
+}
+
+func (st *State) runGuarded(op string, backing, out *value.Object, body func(int, value.Value) error) (Report, error) {
+	return st.runGuardedFrom(op, backing, out, 0, body)
+}
+
+func (st *State) runGuardedRange(op string, backing *value.Object, start int, body func(int, value.Value) error) (Report, error) {
+	return st.runGuardedFrom(op, backing, nil, start, body)
+}
+
+// runGuardedFrom executes the elemental function for every element with
+// the purity guard chained onto whatever hooks are already installed. On
+// the first violation the guard records the reason; execution continues
+// sequentially (the fallback), so results are always produced.
+func (st *State) runGuardedFrom(op string, backing, out *value.Object, start int, body func(int, value.Value) error) (Report, error) {
+	guard := &purityGuard{
+		epoch:  make(map[any]bool),
+		exempt: make(map[any]bool),
+	}
+	if out != nil {
+		guard.exempt[out] = true
+	}
+	prev := st.in.HooksInstalled()
+	if prev != nil {
+		st.in.SetHooks(interp.NewMultiHooks(prev, guard))
+	} else {
+		st.in.SetHooks(guard)
+	}
+	guard.active = true
+	defer func() {
+		guard.active = false
+		st.in.SetHooks(prev)
+	}()
+
+	for i := start; i < len(backing.Elems); i++ {
+		if err := body(i, backing.Elems[i]); err != nil {
+			return Report{}, err
+		}
+	}
+	rep := Report{
+		Op:       op,
+		Parallel: guard.violated == "",
+		Elements: len(backing.Elems) - start,
+	}
+	if guard.violated != "" {
+		rep.AbortReason = fmt.Sprintf("aborted parallel plan: %s", guard.violated)
+	}
+	return rep, nil
+}
+
+func argAt(args []value.Value, i int) value.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return value.Undefined()
+}

@@ -1,0 +1,189 @@
+package rivertrail
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+)
+
+func run(t *testing.T, src string) (*State, *interp.Interp) {
+	t.Helper()
+	in := interp.New()
+	st := Install(in)
+	if err := in.Run(parser.MustParse(src)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return st, in
+}
+
+func TestMapParPureKernel(t *testing.T) {
+	st, in := run(t, `
+var pa = ParallelArray([1, 2, 3, 4]);
+var out = pa.mapPar(function (x) { return x * x; });
+var r = out.toArray().join(",");
+var rep = RiverTrailReport();
+`)
+	if got := in.Global("r").Str(); got != "1,4,9,16" {
+		t.Errorf("result = %q", got)
+	}
+	if !st.Last().Parallel {
+		t.Errorf("pure kernel not parallel-eligible: %+v", st.Last())
+	}
+	rep := in.Global("rep").Object()
+	if v, _ := rep.Get("parallel"); !v.ToBool() {
+		t.Errorf("JS-visible report not parallel: %v", rep.SortedKeys())
+	}
+}
+
+func TestMapParImpureKernelAborts(t *testing.T) {
+	st, in := run(t, `
+var sum = 0;
+var pa = ParallelArray([1, 2, 3]);
+var out = pa.mapPar(function (x) { sum += x; return x; });
+var rep = RiverTrailReport();
+`)
+	last := st.Last()
+	if last.Parallel {
+		t.Fatal("impure kernel marked parallel")
+	}
+	if !strings.Contains(last.AbortReason, "sum") {
+		t.Errorf("abort reason %q does not name the variable (§5.3 requires actionable reports)", last.AbortReason)
+	}
+	// fallback still computes the sequential semantics
+	if got := in.Global("sum").Num(); got != 6 {
+		t.Errorf("fallback sum = %v, want 6", got)
+	}
+}
+
+func TestMapParExternalObjectMutationAborts(t *testing.T) {
+	st, _ := run(t, `
+var stats = {count: 0};
+var pa = ParallelArray([1, 2]);
+pa.mapPar(function (x) { stats.count++; return x; });
+`)
+	last := st.Last()
+	if last.Parallel {
+		t.Fatal("object-mutating kernel marked parallel")
+	}
+	if !strings.Contains(last.AbortReason, "count") {
+		t.Errorf("abort reason %q does not name the property", last.AbortReason)
+	}
+}
+
+func TestMapParLocalStateAllowed(t *testing.T) {
+	st, in := run(t, `
+var pa = ParallelArray([1, 2, 3]);
+var out = pa.mapPar(function (x) {
+  var acc = 0;             // local: fine
+  var tmp = {v: x * 2};    // created inside the kernel: fine
+  acc = tmp.v + 1;
+  return acc;
+});
+var r = out.toArray().join(",");
+`)
+	if !st.Last().Parallel {
+		t.Errorf("kernel with local state aborted: %+v", st.Last())
+	}
+	if got := in.Global("r").Str(); got != "3,5,7" {
+		t.Errorf("r = %q", got)
+	}
+}
+
+func TestFilterPar(t *testing.T) {
+	st, in := run(t, `
+var pa = ParallelArray([1, 2, 3, 4, 5, 6]);
+var even = pa.filterPar(function (x) { return x % 2 === 0; });
+var r = even.toArray().join(",");
+`)
+	if got := in.Global("r").Str(); got != "2,4,6" {
+		t.Errorf("r = %q", got)
+	}
+	if !st.Last().Parallel {
+		t.Errorf("pure filter aborted: %+v", st.Last())
+	}
+}
+
+func TestReducePar(t *testing.T) {
+	_, in := run(t, `
+var pa = ParallelArray([1, 2, 3, 4]);
+var total = pa.reducePar(function (a, b) { return a + b; });
+var withInit = pa.reducePar(function (a, b) { return a + b; }, 100);
+`)
+	if got := in.Global("total").Num(); got != 10 {
+		t.Errorf("total = %v", got)
+	}
+	if got := in.Global("withInit").Num(); got != 110 {
+		t.Errorf("withInit = %v", got)
+	}
+}
+
+func TestChainedOperations(t *testing.T) {
+	st, in := run(t, `
+var r = ParallelArray([1, 2, 3, 4, 5])
+  .mapPar(function (x) { return x * 3; })
+  .filterPar(function (x) { return x > 5; })
+  .reducePar(function (a, b) { return a + b; }, 0);
+`)
+	if got := in.Global("r").Num(); got != 6+9+12+15 {
+		t.Errorf("r = %v", got)
+	}
+	if !st.Last().Parallel {
+		t.Errorf("chain aborted: %+v", st.Last())
+	}
+}
+
+func TestTypeError(t *testing.T) {
+	in := interp.New()
+	Install(in)
+	err := in.Run(parser.MustParse(`ParallelArray(42);`))
+	if err == nil || !strings.Contains(err.Error(), "array") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKernelExceptionPropagates(t *testing.T) {
+	in := interp.New()
+	Install(in)
+	err := in.Run(parser.MustParse(`
+var caught = "";
+try {
+  ParallelArray([1]).mapPar(function (x) { throw "boom"; });
+} catch (e) { caught = e; }
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Global("caught").Str(); got != "boom" {
+		t.Errorf("caught = %q", got)
+	}
+}
+
+func TestGuardRestoresPreviousHooks(t *testing.T) {
+	in := interp.New()
+	st := Install(in)
+	marker := &countingHooks{}
+	in.SetHooks(marker)
+	if err := in.Run(parser.MustParse(`
+var out = ParallelArray([1, 2]).mapPar(function (x) { return x + 1; });
+`)); err != nil {
+		t.Fatal(err)
+	}
+	if in.HooksInstalled() != interp.Hooks(marker) {
+		t.Error("previous hooks not restored after guarded run")
+	}
+	if !st.Last().Parallel {
+		t.Errorf("unexpected abort: %+v", st.Last())
+	}
+	if marker.calls == 0 {
+		t.Error("previous hooks were not chained during the guarded run")
+	}
+}
+
+type countingHooks struct {
+	interp.NopHooks
+	calls int
+}
+
+func (c *countingHooks) CallEnter(string) { c.calls++ }

@@ -1,0 +1,8 @@
+package study
+
+import "repro/internal/js/interp"
+
+// interpMux combines analyzers into one hook set.
+func interpMux(hooks ...interp.Hooks) interp.Hooks {
+	return interp.NewMultiHooks(hooks...)
+}

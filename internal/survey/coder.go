@@ -1,0 +1,143 @@
+package survey
+
+import (
+	"sort"
+	"strings"
+)
+
+// Coder is a keyword-based qualitative thematic coder (§2.1: the paper's
+// two raters "developed a set of codes ... validated by achieving an
+// inter-rater agreement of over 80% for 20% of the data", measured with
+// the Jaccard coefficient).
+type Coder struct {
+	// keywords maps a category to indicator terms; an answer containing
+	// any term receives that category code.
+	keywords map[Category][]string
+}
+
+// NewCoder returns the primary coder's codebook.
+func NewCoder() *Coder {
+	return &Coder{keywords: map[Category][]string{
+		CatGames:         {"game", "gaming", "physics", "console", "multiplayer"},
+		CatP2PSocial:     {"peer-to-peer", "peer to peer", "social", "webrtc", "decentralized", "chat"},
+		CatDesktopLike:   {"desktop", "office", "ide", "professional tools"},
+		CatDataProc:      {"data analysis", "productivity", "spreadsheet", "analytics", "big data", "crunch"},
+		CatAudioVideo:    {"audio", "video", "music", "workstation"},
+		CatVisualization: {"visualization", "visualisation", "chart", "infographic", "svg"},
+		CatAugReality:    {"augmented", "voice", "gesture", "recognition", "camera", "face"},
+	}}
+}
+
+// NewSecondCoder returns a second rater with a deliberately slightly
+// different codebook (fewer synonyms, one extra), used to measure
+// inter-rater agreement like the paper's two human coders.
+func NewSecondCoder() *Coder {
+	return &Coder{keywords: map[Category][]string{
+		CatGames:         {"game", "gaming", "physics"},
+		CatP2PSocial:     {"peer-to-peer", "peer to peer", "social", "webrtc", "decentralized"},
+		CatDesktopLike:   {"desktop", "office", "ide"},
+		CatDataProc:      {"data analysis", "productivity", "spreadsheet", "analytics", "dashboards"},
+		CatAudioVideo:    {"audio", "video", "music", "effects"},
+		CatVisualization: {"visualization", "chart", "scientific"},
+		CatAugReality:    {"augmented", "voice", "gesture", "recognition"},
+	}}
+}
+
+// Code assigns category codes to one free-text answer (possibly several;
+// answers mentioning multiple themes are multi-coded, like the paper's).
+func (c *Coder) Code(answer string) []Category {
+	text := strings.ToLower(strings.TrimSpace(answer))
+	if text == "" || text == "n/a" || text == "not sure" {
+		return nil
+	}
+	var out []Category
+	for _, cat := range Categories() {
+		for _, kw := range c.keywords[cat] {
+			if containsTerm(text, kw) {
+				out = append(out, cat)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// containsTerm reports whether kw occurs in text starting at a word
+// boundary. Prefix-at-word-start matching lets "game" catch "games" and
+// "gaming" while keeping "ide" from firing inside "video".
+func containsTerm(text, kw string) bool {
+	for start := 0; ; {
+		i := strings.Index(text[start:], kw)
+		if i < 0 {
+			return false
+		}
+		i += start
+		if i == 0 || !isLetter(text[i-1]) {
+			return true
+		}
+		start = i + 1
+	}
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Jaccard computes the Jaccard coefficient |A∩B| / |A∪B| between two code
+// sets; two empty sets agree perfectly (both raters said "no valid data").
+func Jaccard(a, b []Category) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	setA := make(map[Category]bool, len(a))
+	for _, x := range a {
+		setA[x] = true
+	}
+	inter, union := 0, 0
+	seen := make(map[Category]bool, len(a)+len(b))
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			union++
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			union++
+		}
+		if setA[x] {
+			inter++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// InterRaterAgreement codes a fraction of the corpus with both raters and
+// returns the mean Jaccard coefficient — the paper validated its codebook
+// on 20% of the data, requiring agreement over 80%.
+func InterRaterAgreement(c *Corpus, a, b *Coder, fraction float64) float64 {
+	n := int(float64(len(c.Responses)) * fraction)
+	if n <= 0 {
+		return 1
+	}
+	// deterministic subsample: every k-th response
+	idxs := make([]int, 0, n)
+	step := len(c.Responses) / n
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(c.Responses) && len(idxs) < n; i += step {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var sum float64
+	for _, i := range idxs {
+		ans := c.Responses[i].TrendAnswer
+		sum += Jaccard(a.Code(ans), b.Code(ans))
+	}
+	return sum / float64(len(idxs))
+}
