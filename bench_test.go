@@ -250,6 +250,91 @@ func BenchmarkParallelLoops1Worker(b *testing.B)  { benchParallelLoops(b, 1) }
 func BenchmarkParallelLoops2Workers(b *testing.B) { benchParallelLoops(b, 2) }
 func BenchmarkParallelLoops4Workers(b *testing.B) { benchParallelLoops(b, 4) }
 
+// ---- River Trail primitive speedups (reduce / filter / scan) ----
+
+// The histogram kernel (96×64 procedural image) exercises each primitive
+// with the workload shapes of internal/workloads/histogram.go.
+const histogramN = 96 * 64
+
+func benchReduce(b *testing.B, workers int) {
+	k := &parallel.Kernel{Source: workloads.HistogramKernelSrc}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := k.ReduceParallel(histogramN, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.ToNumber() <= 0 {
+			b.Fatal("empty reduction")
+		}
+	}
+}
+
+func BenchmarkParallelReduce1Worker(b *testing.B)  { benchReduce(b, 1) }
+func BenchmarkParallelReduce2Workers(b *testing.B) { benchReduce(b, 2) }
+func BenchmarkParallelReduce4Workers(b *testing.B) { benchReduce(b, 4) }
+
+func benchFilter(b *testing.B, workers int) {
+	k := &parallel.Kernel{Source: workloads.HistogramKernelSrc}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := k.FilterParallel(histogramN, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Indices) == 0 {
+			b.Fatal("empty filter")
+		}
+	}
+}
+
+func BenchmarkParallelFilter1Worker(b *testing.B)  { benchFilter(b, 1) }
+func BenchmarkParallelFilter2Workers(b *testing.B) { benchFilter(b, 2) }
+func BenchmarkParallelFilter4Workers(b *testing.B) { benchFilter(b, 4) }
+
+func benchScan(b *testing.B, workers int) {
+	k := &parallel.Kernel{Source: workloads.HistogramKernelSrc}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := k.ScanParallel(histogramN, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Values) != histogramN {
+			b.Fatal("bad scan")
+		}
+	}
+}
+
+func BenchmarkParallelScan1Worker(b *testing.B)  { benchScan(b, 1) }
+func BenchmarkParallelScan2Workers(b *testing.B) { benchScan(b, 2) }
+func BenchmarkParallelScan4Workers(b *testing.B) { benchScan(b, 4) }
+
+// ---- Concurrent study orchestrator: Table 2/3 regeneration ----
+
+// benchStudyRunAll regenerates the full Table 2 + Table 3 + Amdahl
+// pipeline (the -table=all path of cmd/casestudy) on a worker pool; the
+// output is byte-identical at every worker count, so the only variable
+// is wall clock.
+func benchStudyRunAll(b *testing.B, workers int) {
+	workloads.SetScale(workloads.Scale{Div: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := study.RunAll(7, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 12 {
+			b.Fatal("missing app results")
+		}
+	}
+}
+
+func BenchmarkStudyRunAll1Worker(b *testing.B)  { benchStudyRunAll(b, 1) }
+func BenchmarkStudyRunAll2Workers(b *testing.B) { benchStudyRunAll(b, 2) }
+func BenchmarkStudyRunAll4Workers(b *testing.B) { benchStudyRunAll(b, 4) }
+func BenchmarkStudyRunAll8Workers(b *testing.B) { benchStudyRunAll(b, 8) }
+
 // ---- Ablations ----
 
 // BenchmarkAblationInstrumentationOverhead measures the real (host) cost

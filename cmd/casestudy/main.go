@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	casestudy [-table=all|1|2|3|amdahl|fortuna] [-scale=N] [-seed=N]
+//	casestudy [-table=all|1|2|3|amdahl|fortuna] [-scale=N] [-seed=N] [-workers=N] [-timing]
 //
 // -scale divides workload sizes (1 = full Table 2/3 configuration).
+// -workers sizes the orchestrator's goroutine pool (0 = GOMAXPROCS,
+// 1 = sequential); output is byte-identical at every worker count.
+// -timing appends the per-job and end-to-end wall-clock report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +28,15 @@ func main() {
 	table := flag.String("table", "all", "which artifact to print: all, 1, 2, 3, amdahl, fortuna")
 	scaleDiv := flag.Int("scale", 1, "divide workload sizes by N (1 = paper-scale)")
 	seed := flag.Uint64("seed", 7, "deterministic seed")
+	workers := flag.Int("workers", 0, "orchestrator pool size (0 = GOMAXPROCS, 1 = sequential)")
+	timing := flag.Bool("timing", false, "print per-job and total wall-clock times to stderr")
 	flag.Parse()
+
+	switch *table {
+	case "all", "1", "2", "3", "amdahl", "fortuna":
+	default:
+		fatal(fmt.Errorf("unknown -table=%s", *table))
+	}
 
 	workloads.SetScale(workloads.Scale{Div: *scaleDiv})
 
@@ -41,10 +53,23 @@ func main() {
 		return
 	}
 
-	results, err := study.RunAll(*seed)
-	if err != nil {
-		fatal(err)
+	rep, err := study.Orchestrate(context.Background(), study.Options{Seed: *seed, Workers: *workers})
+	if *timing {
+		for _, jt := range rep.Timings {
+			fmt.Fprintf(os.Stderr, "job %-20s %-5s %8.2fms\n", jt.App, jt.Mode, float64(jt.Wall.Microseconds())/1000)
+		}
+		fmt.Fprintf(os.Stderr, "orchestrated %d jobs on %d workers in %.2fs\n",
+			len(rep.Timings), rep.Workers, rep.Wall.Seconds())
 	}
+	if err != nil {
+		// The orchestrator aggregates failures instead of failing fast:
+		// report them, then still print whatever apps survived.
+		fmt.Fprintln(os.Stderr, "casestudy:", err)
+		if len(rep.Results) == 0 {
+			os.Exit(1)
+		}
+	}
+	results := rep.Results
 	switch *table {
 	case "2":
 		fmt.Print(report.Table2(study.Table2(results)))
@@ -71,8 +96,9 @@ func main() {
 			poly += len(r.PolymorphicVars)
 		}
 		fmt.Printf("\npolymorphic variables in hot loops across all apps: %d (paper: none found)\n", poly)
-	default:
-		fatal(fmt.Errorf("unknown -table=%s", *table))
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 }
 

@@ -14,9 +14,11 @@
 //   - internal/gecko     the sampling profiler whose "Active" column
 //     undercounts single-function loops (§3.1);
 //   - internal/workloads the 12 case-study applications of Table 1;
-//   - internal/study     the Table 2/3 pipelines and Amdahl bounds;
+//   - internal/study     the Table 2/3 pipelines, Amdahl bounds, and the
+//     concurrent (workload × mode) study orchestrator;
 //   - internal/survey    the §2 developer survey (Figures 1–4);
-//   - internal/parallel  goroutine execution of analysis-approved loops;
+//   - internal/parallel  goroutine execution of analysis-approved loops:
+//     the full River Trail primitive set (map, reduce, filter, scan);
 //   - internal/taskgraph the Fortuna et al. task-level baseline (§6);
 //   - internal/instrument + internal/proxy  the Fig. 5 source-rewriting
 //     HTTP proxy.

@@ -11,7 +11,6 @@ package parallel
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/js/ast"
@@ -87,12 +86,7 @@ func (k *Kernel) MapSequential(n int) (*Result, error) {
 // MapParallel runs kernel(i) for i in [0, n) across `workers` goroutines
 // (0 = GOMAXPROCS), each with its own share-nothing interpreter.
 func (k *Kernel) MapParallel(n, workers int) (*Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = clampWorkers(n, workers)
 	if workers <= 1 {
 		return k.MapSequential(n)
 	}
@@ -110,8 +104,7 @@ func (k *Kernel) MapParallel(n, workers int) (*Result, error) {
 				return
 			}
 			// contiguous chunking: worker wi handles [lo, hi)
-			lo := wi * n / workers
-			hi := (wi + 1) * n / workers
+			lo, hi := chunk(n, workers, wi)
 			for i := lo; i < hi; i++ {
 				v, err := w.in.SafeCall(w.fn, value.Undefined(), []value.Value{value.Int(i)})
 				if err != nil {

@@ -1,0 +1,412 @@
+package parallel
+
+// This file completes the River Trail primitive set the paper recommends
+// (§5.1): beyond map, the reduce, filter and scan combinators, each with
+// a sequential counterpart for the package's bit-identical cross-check.
+//
+// Conventions extending Kernel:
+//
+//   - reduce/scan additionally require Source to define combine(a, b),
+//     an associative, pure fold of two kernel results;
+//   - filter additionally requires pred(x, i), a pure predicate over a
+//     kernel result and its index.
+//
+// Scheduling is chunked: [0, n) splits into one contiguous chunk per
+// worker, each worker folds/scans its chunk on its own share-nothing
+// interpreter, and the per-chunk partials are merged in chunk order.
+// Merging re-invokes combine with values produced on *other* workers'
+// interpreters, so those values must be primitives (number, string,
+// bool); an object crossing interpreters would alias mutable state
+// between workers, and the primitives reject it with an error instead.
+//
+// Bit-identical equivalence with the sequential counterpart holds
+// exactly when the kernel functions honor the contract: kernel and pred
+// iteration-independent, combine pure and associative. (Floating-point
+// combines that are not associative — e.g. summing values with wildly
+// different magnitudes — will be caught by the cross-check, which is the
+// point: the check is the safety net the paper's §5.3 asks for.)
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/js/value"
+)
+
+// FilterResult is the outcome of a filter execution: the kept kernel
+// results and their original indices, in index order.
+type FilterResult struct {
+	Indices []int
+	Values  []value.Value
+	Workers int
+}
+
+// callable resolves a function the kernel source must define.
+func (w *workerState) callable(name string) (value.Value, error) {
+	fn := w.in.Global(name)
+	if !fn.IsCallable() {
+		return value.Undefined(), fmt.Errorf("parallel: kernel source does not define %s", name)
+	}
+	return fn, nil
+}
+
+func (w *workerState) call(fn value.Value, args ...value.Value) (value.Value, error) {
+	return w.in.SafeCall(fn, value.Undefined(), args)
+}
+
+// clampWorkers resolves the worker count against n.
+func clampWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunk returns worker wi's contiguous index range [lo, hi).
+func chunk(n, workers, wi int) (lo, hi int) {
+	return wi * n / workers, (wi + 1) * n / workers
+}
+
+// crossable rejects values that would carry mutable state between
+// share-nothing interpreters.
+func crossable(v value.Value, what string) error {
+	if v.IsObject() {
+		return fmt.Errorf("parallel: %s is an object; reduce/scan values must be primitive to cross workers", what)
+	}
+	return nil
+}
+
+// ---- reduce ----
+
+// ReduceSequential left-folds kernel(0..n) with combine on one
+// interpreter: combine(combine(kernel(0), kernel(1)), ...). An empty
+// range reduces to undefined.
+func (k *Kernel) ReduceSequential(n int) (value.Value, error) {
+	w, err := k.newWorker()
+	if err != nil {
+		return value.Undefined(), err
+	}
+	combine, err := w.callable("combine")
+	if err != nil {
+		return value.Undefined(), err
+	}
+	return reduceChunk(w, combine, 0, n)
+}
+
+// reduceChunk folds [lo, hi) on one worker.
+func reduceChunk(w *workerState, combine value.Value, lo, hi int) (value.Value, error) {
+	acc := value.Undefined()
+	for i := lo; i < hi; i++ {
+		v, err := w.call(w.fn, value.Int(i))
+		if err != nil {
+			return value.Undefined(), fmt.Errorf("parallel: kernel(%d): %w", i, err)
+		}
+		if i == lo {
+			acc = v
+			continue
+		}
+		acc, err = w.call(combine, acc, v)
+		if err != nil {
+			return value.Undefined(), fmt.Errorf("parallel: combine at %d: %w", i, err)
+		}
+	}
+	return acc, nil
+}
+
+// ReduceParallel folds kernel(0..n) across `workers` goroutines
+// (0 = GOMAXPROCS): each worker folds its chunk, then the chunk partials
+// are folded in chunk order. Equals ReduceSequential exactly when
+// combine is associative and pure.
+func (k *Kernel) ReduceParallel(n, workers int) (value.Value, error) {
+	workers = clampWorkers(n, workers)
+	if workers <= 1 {
+		return k.ReduceSequential(n)
+	}
+
+	partials := make([]value.Value, workers)
+	states := make([]*workerState, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := k.newWorker()
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			combine, err := w.callable("combine")
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			states[wi] = w
+			lo, hi := chunk(n, workers, wi)
+			partials[wi], errs[wi] = reduceChunk(w, combine, lo, hi)
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return value.Undefined(), err
+		}
+	}
+
+	// Fold chunk partials in order on worker 0's interpreter.
+	w := states[0]
+	combine, err := w.callable("combine")
+	if err != nil {
+		return value.Undefined(), err
+	}
+	acc := partials[0]
+	for wi := 1; wi < workers; wi++ {
+		if err := crossable(partials[wi], fmt.Sprintf("chunk %d partial", wi)); err != nil {
+			return value.Undefined(), err
+		}
+		acc, err = w.call(combine, acc, partials[wi])
+		if err != nil {
+			return value.Undefined(), fmt.Errorf("parallel: combine partial %d: %w", wi, err)
+		}
+	}
+	return acc, nil
+}
+
+// ---- filter ----
+
+// FilterSequential keeps kernel(i) results for which pred(x, i) is
+// truthy, on one interpreter.
+func (k *Kernel) FilterSequential(n int) (*FilterResult, error) {
+	w, err := k.newWorker()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := w.callable("pred")
+	if err != nil {
+		return nil, err
+	}
+	res := &FilterResult{Workers: 1}
+	return res, filterChunk(w, pred, 0, n, res)
+}
+
+// filterChunk appends [lo, hi)'s kept elements to res.
+func filterChunk(w *workerState, pred value.Value, lo, hi int, res *FilterResult) error {
+	for i := lo; i < hi; i++ {
+		v, err := w.call(w.fn, value.Int(i))
+		if err != nil {
+			return fmt.Errorf("parallel: kernel(%d): %w", i, err)
+		}
+		keep, err := w.call(pred, v, value.Int(i))
+		if err != nil {
+			return fmt.Errorf("parallel: pred(%d): %w", i, err)
+		}
+		if keep.ToBool() {
+			res.Indices = append(res.Indices, i)
+			res.Values = append(res.Values, v)
+		}
+	}
+	return nil
+}
+
+// FilterParallel filters across `workers` goroutines (0 = GOMAXPROCS);
+// per-chunk keeps concatenate in chunk order, so the result is
+// index-ordered and identical to FilterSequential for pure predicates.
+func (k *Kernel) FilterParallel(n, workers int) (*FilterResult, error) {
+	workers = clampWorkers(n, workers)
+	if workers <= 1 {
+		return k.FilterSequential(n)
+	}
+
+	locals := make([]*FilterResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := k.newWorker()
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			pred, err := w.callable("pred")
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			lo, hi := chunk(n, workers, wi)
+			locals[wi] = &FilterResult{}
+			errs[wi] = filterChunk(w, pred, lo, hi, locals[wi])
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &FilterResult{Workers: workers}
+	for _, l := range locals {
+		res.Indices = append(res.Indices, l.Indices...)
+		res.Values = append(res.Values, l.Values...)
+	}
+	return res, nil
+}
+
+// EqualFilter reports whether two filter results kept the same indices
+// with strictly equal values.
+func EqualFilter(a, b *FilterResult) bool {
+	if len(a.Indices) != len(b.Indices) {
+		return false
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] || !value.StrictEquals(a.Values[i], b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- scan ----
+
+// ScanSequential computes the inclusive prefix fold on one interpreter:
+// out[0] = kernel(0), out[i] = combine(out[i-1], kernel(i)).
+func (k *Kernel) ScanSequential(n int) (*Result, error) {
+	w, err := k.newWorker()
+	if err != nil {
+		return nil, err
+	}
+	combine, err := w.callable("combine")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Value, n)
+	if err := scanChunkLocal(w, combine, 0, n, out); err != nil {
+		return nil, err
+	}
+	return &Result{Values: out, Workers: 1}, nil
+}
+
+// scanChunkLocal fills out[lo:hi] with the inclusive scan of the chunk's
+// own kernel values (no cross-chunk offset).
+func scanChunkLocal(w *workerState, combine value.Value, lo, hi int, out []value.Value) error {
+	for i := lo; i < hi; i++ {
+		v, err := w.call(w.fn, value.Int(i))
+		if err != nil {
+			return fmt.Errorf("parallel: kernel(%d): %w", i, err)
+		}
+		if i == lo {
+			out[i] = v
+			continue
+		}
+		out[i], err = w.call(combine, out[i-1], v)
+		if err != nil {
+			return fmt.Errorf("parallel: combine at %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ScanParallel computes the inclusive prefix fold with the classic tiled
+// three-phase algorithm: (1) each worker scans its chunk locally,
+// (2) chunk totals fold sequentially into per-chunk offsets, (3) workers
+// combine their offset into each local element. Equals ScanSequential
+// exactly when combine is associative and pure.
+func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
+	workers = clampWorkers(n, workers)
+	if workers <= 1 {
+		return k.ScanSequential(n)
+	}
+
+	out := make([]value.Value, n)
+	states := make([]*workerState, workers)
+	combines := make([]value.Value, workers)
+	errs := make([]error, workers)
+
+	// Phase 1: local inclusive scans.
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := k.newWorker()
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			combine, err := w.callable("combine")
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			states[wi], combines[wi] = w, combine
+			lo, hi := chunk(n, workers, wi)
+			errs[wi] = scanChunkLocal(w, combine, lo, hi, out)
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: per-chunk offsets — the left fold of preceding chunk
+	// totals (each chunk's total is its last local-scan element).
+	offsets := make([]value.Value, workers)
+	w0 := states[0]
+	acc := value.Undefined()
+	for wi := 1; wi < workers; wi++ {
+		_, prevHi := chunk(n, workers, wi-1)
+		total := out[prevHi-1]
+		if err := crossable(total, fmt.Sprintf("chunk %d total", wi-1)); err != nil {
+			return nil, err
+		}
+		if wi == 1 {
+			acc = total
+		} else {
+			var err error
+			acc, err = w0.call(combines[0], acc, total)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: combine offsets: %w", err)
+			}
+			if err := crossable(acc, fmt.Sprintf("chunk %d offset", wi)); err != nil {
+				return nil, err
+			}
+		}
+		offsets[wi] = acc
+	}
+
+	// Phase 3: apply offsets on each worker's own interpreter.
+	for wi := 1; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, combine := states[wi], combines[wi]
+			lo, hi := chunk(n, workers, wi)
+			for i := lo; i < hi; i++ {
+				v, err := w.call(combine, offsets[wi], out[i])
+				if err != nil {
+					errs[wi] = fmt.Errorf("parallel: combine offset at %d: %w", i, err)
+					return
+				}
+				out[i] = v
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Values: out, Workers: workers}, nil
+}

@@ -1,0 +1,209 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/js/interp"
+	"repro/internal/js/value"
+)
+
+// sumKernel: integer-exact values so the fold is associative and the
+// bit-identical cross-check is meaningful.
+const sumKernel = `
+function kernel(i) { return (i * 31 + 7) % 101; }
+function combine(a, b) { return a + b; }
+function pred(x, i) { return x % 3 === 0; }
+`
+
+func TestReduceCrossCheck(t *testing.T) {
+	k := &Kernel{Source: sumKernel}
+	seq, err := k.ReduceSequential(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < 500; i++ {
+		want += float64((i*31 + 7) % 101)
+	}
+	if seq.ToNumber() != want {
+		t.Fatalf("sequential reduce = %v, want %v", seq.ToNumber(), want)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par, err := k.ReduceParallel(500, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !value.StrictEquals(seq, par) {
+			t.Errorf("workers=%d: parallel reduce %v != sequential %v", workers, par.ToNumber(), seq.ToNumber())
+		}
+	}
+}
+
+func TestReduceMaxCrossCheck(t *testing.T) {
+	// A non-commutative-looking but associative combine: max.
+	k := &Kernel{Source: `
+function kernel(i) { return (i * 37) % 251; }
+function combine(a, b) { return a > b ? a : b; }
+`}
+	seq, err := k.ReduceSequential(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := k.ReduceParallel(300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.StrictEquals(seq, par) {
+		t.Errorf("max reduce: parallel %v != sequential %v", par.ToNumber(), seq.ToNumber())
+	}
+}
+
+func TestReduceEmptyAndSingle(t *testing.T) {
+	k := &Kernel{Source: sumKernel}
+	v, err := k.ReduceSequential(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsUndefined() {
+		t.Errorf("reduce of empty range = %v, want undefined", v)
+	}
+	v, err = k.ReduceParallel(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ToNumber() != 7 {
+		t.Errorf("reduce of single element = %v, want 7", v.ToNumber())
+	}
+}
+
+func TestReduceRequiresCombine(t *testing.T) {
+	k := &Kernel{Source: "function kernel(i) { return i; }"}
+	if _, err := k.ReduceSequential(4); err == nil || !strings.Contains(err.Error(), "combine") {
+		t.Errorf("reduce without combine: err = %v, want combine complaint", err)
+	}
+	if _, err := k.ScanParallel(4, 2); err == nil || !strings.Contains(err.Error(), "combine") {
+		t.Errorf("scan without combine: err = %v, want combine complaint", err)
+	}
+	if _, err := k.FilterParallel(4, 2); err == nil || !strings.Contains(err.Error(), "pred") {
+		t.Errorf("filter without pred: err = %v, want pred complaint", err)
+	}
+}
+
+func TestReduceRejectsObjectPartials(t *testing.T) {
+	// combine returning an object would alias state across interpreters;
+	// the parallel path must refuse rather than silently share.
+	k := &Kernel{Source: `
+function kernel(i) { return { v: i }; }
+function combine(a, b) { return { v: a.v + b.v }; }
+`}
+	if _, err := k.ReduceParallel(64, 4); err == nil || !strings.Contains(err.Error(), "primitive") {
+		t.Errorf("object partials: err = %v, want primitive complaint", err)
+	}
+}
+
+func TestFilterCrossCheck(t *testing.T) {
+	k := &Kernel{Source: sumKernel}
+	seq, err := k.FilterSequential(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Indices) == 0 || len(seq.Indices) == 500 {
+		t.Fatalf("degenerate filter keep count %d", len(seq.Indices))
+	}
+	for j, i := range seq.Indices {
+		if int(seq.Values[j].ToNumber())%3 != 0 {
+			t.Errorf("kept value at index %d fails pred", i)
+		}
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par, err := k.FilterParallel(500, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualFilter(seq, par) {
+			t.Errorf("workers=%d: parallel filter differs from sequential", workers)
+		}
+	}
+}
+
+func TestScanCrossCheck(t *testing.T) {
+	k := &Kernel{Source: sumKernel}
+	seq, err := k.ScanSequential(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the prefix property.
+	var run float64
+	for i := 0; i < 500; i++ {
+		run += float64((i*31 + 7) % 101)
+		if seq.Values[i].ToNumber() != run {
+			t.Fatalf("scan[%d] = %v, want %v", i, seq.Values[i].ToNumber(), run)
+		}
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		par, err := k.ScanParallel(500, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(seq, par) {
+			t.Errorf("workers=%d: parallel scan differs from sequential", workers)
+		}
+	}
+}
+
+func TestScanPropertyEquivalence(t *testing.T) {
+	// Property: arbitrary small n and workers agree with sequential.
+	k := &Kernel{Source: sumKernel}
+	f := func(n, w uint8) bool {
+		nn := int(n%48) + 1
+		ww := int(w%6) + 1
+		seq, err := k.ScanSequential(nn)
+		if err != nil {
+			return false
+		}
+		par, err := k.ScanParallel(nn, ww)
+		if err != nil {
+			return false
+		}
+		return Equal(seq, par)
+	}
+	cfg := &quick.Config{MaxCount: 10} // each case spawns interpreters
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimitivesWithSetup(t *testing.T) {
+	// Reduce over a shared read-only input installed per worker — the
+	// dot-product shape River Trail's reduce is built for.
+	src := `
+function kernel(i) { return a[i] * b[i]; }
+function combine(x, y) { return x + y; }
+`
+	setup := func(in *interp.Interp) error {
+		n := 200
+		av := make([]value.Value, n)
+		bv := make([]value.Value, n)
+		for i := 0; i < n; i++ {
+			av[i] = value.Int(i % 13)
+			bv[i] = value.Int(i % 7)
+		}
+		in.SetGlobal("a", value.ObjectVal(in.NewArray(av...)))
+		in.SetGlobal("b", value.ObjectVal(in.NewArray(bv...)))
+		return nil
+	}
+	k := &Kernel{Source: src, Setup: setup}
+	seq, err := k.ReduceSequential(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := k.ReduceParallel(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.StrictEquals(seq, par) {
+		t.Errorf("dot product: parallel %v != sequential %v", par.ToNumber(), seq.ToNumber())
+	}
+}

@@ -5,8 +5,6 @@
 package study
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/gecko"
 	"repro/internal/js/ast"
@@ -100,7 +98,18 @@ func RunDeep(wl *workloads.Workload, seed uint64) (*AppResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res, err := runDeepOnly(wl, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Table2 = t2
+	return res, nil
+}
 
+// runDeepOnly is the deep half of RunDeep — stages 2+3 without the light
+// profile, so the orchestrator can schedule the two as independent jobs.
+// The returned AppResult has a zero Table2; the caller merges it in.
+func runDeepOnly(wl *workloads.Workload, seed uint64) (*AppResult, error) {
 	// Stage 2+3: loop profile + dependence analysis in one run (the modes
 	// are separate in the paper to control overhead; virtual time makes
 	// them composable here because instrumentation cost is invisible to
@@ -124,7 +133,6 @@ func RunDeep(wl *workloads.Workload, seed uint64) (*AppResult, error) {
 
 	res := &AppResult{
 		Workload:        wl,
-		Table2:          t2,
 		Nests:           nests,
 		PolymorphicVars: dep.PolymorphicVars(),
 	}
@@ -153,19 +161,6 @@ func TopNests(nests []core.NestReport, frac float64, maxRows int) []core.NestRep
 		}
 	}
 	return out
-}
-
-// RunAll runs the full case study over every Table 1 workload.
-func RunAll(seed uint64) ([]*AppResult, error) {
-	var out []*AppResult
-	for _, wl := range workloads.All() {
-		res, err := RunDeep(wl, seed)
-		if err != nil {
-			return nil, fmt.Errorf("study: %s: %w", wl.Name, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
 }
 
 // Table2 extracts Table 2 rows from results.

@@ -19,7 +19,7 @@ func runStudy(t *testing.T) []*AppResult {
 	t.Helper()
 	studyOnce.Do(func() {
 		workloads.SetScale(workloads.Scale{Div: 2})
-		studyResults, studyErr = RunAll(7)
+		studyResults, studyErr = RunAll(7, 0)
 	})
 	if studyErr != nil {
 		t.Fatalf("study: %v", studyErr)

@@ -135,6 +135,33 @@ func TestCanvasWorkloadsProducePixels(t *testing.T) {
 	}
 }
 
+// TestHistogramControl runs the reduce-shaped control workload (not in
+// Table 1) and checks every primitive-shaped kernel actually computed.
+func TestHistogramControl(t *testing.T) {
+	wl := Histogram()
+	in := NewInterp(7)
+	w, err := Run(wl, in)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(w.Canvases) == 0 {
+		t.Fatal("no canvas created")
+	}
+	if e := in.Global("totalEnergy").ToNumber(); e <= 0 {
+		t.Errorf("energy reduction = %v, want > 0", e)
+	}
+	if b := in.Global("brightCount").ToNumber(); b <= 0 {
+		t.Errorf("bright-pixel filter kept %v, want > 0", b)
+	}
+	cdf := in.Global("cdf")
+	if !cdf.IsObject() || len(cdf.Object().Elems) != 256 {
+		t.Fatal("CDF scan did not produce 256 bins")
+	}
+	if got := cdf.Object().Elems[255].ToNumber(); got != 96*64 {
+		t.Errorf("cdf[255] = %v, want %v (all pixels)", got, 96*64)
+	}
+}
+
 // TestDOMWorkloadsTouchDOM checks the interactive apps mutate the DOM.
 func TestDOMWorkloadsTouchDOM(t *testing.T) {
 	for _, name := range []string{"Ace", "MyScript", "sigma.js", "D3.js"} {
