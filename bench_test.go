@@ -11,6 +11,12 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -22,6 +28,7 @@ import (
 	"repro/internal/js/parser"
 	"repro/internal/js/value"
 	"repro/internal/parallel"
+	"repro/internal/proxy"
 	"repro/internal/study"
 	"repro/internal/survey"
 	"repro/internal/workloads"
@@ -110,6 +117,97 @@ work();
 		}
 	}
 }
+
+// ---- Fig. 5 proxy at scale: the rewrite cache ----
+
+// proxyBenchScript is deliberately loop-heavy so the rewrite (parse +
+// transform + print) dominates the loopback fetch — the workload shape
+// where the cache matters.
+var proxyBenchScript = func() string {
+	var sb strings.Builder
+	sb.WriteString("var acc = 0;\n")
+	for i := 0; i < 160; i++ {
+		fmt.Fprintf(&sb, "for (var i%d = 0; i%d < %d; i%d++) { acc += (i%d * 31) %% %d; }\n",
+			i, i, 40+i, i, i, 7+i)
+	}
+	return sb.String()
+}()
+
+func newBenchProxy(b *testing.B, cached bool) *proxy.Proxy {
+	b.Helper()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		_, _ = io.WriteString(w, proxyBenchScript)
+	}))
+	b.Cleanup(origin.Close)
+	p, err := proxy.New(origin.URL, instrument.ModeLoops, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !cached {
+		p.Cache = nil
+	}
+	return p
+}
+
+// benchProxy drives the handler directly (no client-side TCP) on a
+// repeated-script workload; cached vs. uncached isolates the cache win.
+// The acceptance gate — cached >= 5x uncached with byte-identical
+// bodies — is asserted by TestCachedUncachedByteIdentical plus these
+// two throughput numbers.
+func benchProxy(b *testing.B, cached bool) {
+	p := newBenchProxy(b, cached)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/app.js", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	s := p.Stats()
+	if s.Instrumented != int64(b.N) {
+		b.Fatalf("Instrumented = %d, want %d", s.Instrumented, b.N)
+	}
+	b.ReportMetric(float64(s.Rewrites), "rewrites")
+}
+
+func BenchmarkProxyCached(b *testing.B)   { benchProxy(b, true) }
+func BenchmarkProxyUncached(b *testing.B) { benchProxy(b, false) }
+
+// benchProxyParallel adds client concurrency (the loadgen shape):
+// exactly `clients` goroutines sharing the b.N request budget.
+func benchProxyParallel(b *testing.B, clients int) {
+	p := newBenchProxy(b, true)
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				rec := httptest.NewRecorder()
+				p.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/app.js", nil))
+				if rec.Code != http.StatusOK {
+					b.Errorf("status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if s := p.Stats(); s.Rewrites != 1 {
+		b.Fatalf("Rewrites = %d, want 1 (single-flight)", s.Rewrites)
+	}
+}
+
+func BenchmarkProxyCachedParallel1(b *testing.B) { benchProxyParallel(b, 1) }
+func BenchmarkProxyCachedParallel2(b *testing.B) { benchProxyParallel(b, 2) }
+func BenchmarkProxyCachedParallel4(b *testing.B) { benchProxyParallel(b, 4) }
+func BenchmarkProxyCachedParallel8(b *testing.B) { benchProxyParallel(b, 8) }
 
 // ---- Figure 6 / §3.3: N-body dependence analysis ----
 

@@ -2,11 +2,14 @@
 // point a browser (or this repository's interpreter) at it, and every
 // JavaScript response from the origin is rewritten with profiling
 // instrumentation on the way through. Pages post results to
-// /__ceres/results; the proxy saves human-readable reports.
+// /__ceres/results; the proxy saves human-readable reports. Rewrites
+// are served from a content-addressed single-flight cache; live
+// counters are at /__ceres/stats.
 //
 // Usage:
 //
-//	ceresproxy -origin http://localhost:8000 -listen :8080 -mode loops -reports ./ceres-reports
+//	ceresproxy -origin http://localhost:8000 -listen :8080 -mode loops \
+//	    -reports ./ceres-reports -cache-bytes 67108864 -stats
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 
 	"repro/internal/instrument"
 	"repro/internal/proxy"
@@ -24,16 +28,27 @@ func main() {
 	listen := flag.String("listen", ":8080", "proxy listen address")
 	mode := flag.String("mode", "light", "instrumentation mode: light, loops")
 	reports := flag.String("reports", "ceres-reports", "directory for result reports")
+	cacheBytes := flag.Int64("cache-bytes", proxy.DefaultCacheBytes, "rewrite cache budget in bytes (0 disables caching)")
+	stats := flag.Bool("stats", true, "serve live counters at /__ceres/stats")
 	flag.Parse()
 
-	m := instrument.ModeLight
-	if *mode == "loops" {
-		m = instrument.ModeLoops
+	m, err := instrument.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceresproxy: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	p, err := proxy.New(*origin, m, *reports)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s)\n", *listen, *origin, *mode, *reports)
+	if *cacheBytes == 0 {
+		p.Cache = nil
+	} else {
+		p.Cache = proxy.NewRewriteCache(*cacheBytes)
+	}
+	p.StatsEndpoint = *stats
+	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s, cache=%dB, stats=%v)\n",
+		*listen, *origin, m, *reports, *cacheBytes, *stats)
 	log.Fatal(http.ListenAndServe(*listen, p))
 }

@@ -1,0 +1,274 @@
+// Command loadgen hammers the JS-CERES instrumentation proxy with a
+// configurable mix of repeated ("hot") and unique scripts and reports
+// throughput, rewrites/sec, and p50/p99 latency per client count — the
+// measurement the ROADMAP's "heavy traffic" north star asks for: does
+// the cache-backed proxy actually scale with concurrent clients?
+//
+// The harness is self-contained: it starts a synthetic origin that
+// generates deterministic JavaScript on demand, puts the real proxy
+// (internal/proxy over HTTP) in front of it, and drives both through
+// the loopback TCP stack, so numbers include real serialization cost.
+//
+// Usage:
+//
+//	loadgen -clients 1,2,4,8 -requests 400 -hot 16 -unique 0.25 \
+//	    -script-loops 12 -mode light -cache-bytes 67108864
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/instrument"
+	"repro/internal/proxy"
+)
+
+func main() {
+	clientsFlag := flag.String("clients", "1,2,4,8", "comma-separated client goroutine counts")
+	requests := flag.Int("requests", 400, "requests per client-count round")
+	hot := flag.Int("hot", 16, "distinct scripts in the repeated (hot) pool")
+	uniqueFrac := flag.Float64("unique", 0.25, "fraction of requests for a never-seen script")
+	scriptLoops := flag.Int("script-loops", 12, "loops per generated script (rewrite cost knob)")
+	mode := flag.String("mode", "light", "instrumentation mode: light, loops")
+	cacheBytes := flag.Int64("cache-bytes", proxy.DefaultCacheBytes, "rewrite cache budget in bytes (0 disables caching)")
+	seed := flag.Int64("seed", 7, "deterministic request-mix seed")
+	flag.Parse()
+
+	m, err := instrument.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	counts, err := parseClients(*clientsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	if *hot < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -hot must be >= 1 (use -unique 1 for an all-unique mix)")
+		os.Exit(2)
+	}
+
+	originURL, stopOrigin, err := startOrigin(*scriptLoops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopOrigin()
+
+	fmt.Printf("loadgen: mode=%s hot=%d unique=%.0f%% requests=%d script-loops=%d cache=%dB\n",
+		m, *hot, *uniqueFrac*100, *requests, *scriptLoops, *cacheBytes)
+	fmt.Printf("%-8s %10s %12s %10s %10s %8s %8s %10s %9s\n",
+		"clients", "req/s", "rewrites/s", "p50", "p99", "hits", "misses", "coalesced", "failures")
+
+	for _, c := range counts {
+		row, err := runRound(roundConfig{
+			origin:     originURL,
+			mode:       m,
+			cacheBytes: *cacheBytes,
+			clients:    c,
+			requests:   *requests,
+			hot:        *hot,
+			uniqueFrac: *uniqueFrac,
+			seed:       *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %10.0f %12.1f %10s %10s %8d %8d %10d %9d\n",
+			c, row.reqPerSec, row.rewritesPerSec, fmtDur(row.p50), fmtDur(row.p99),
+			row.stats.CacheHits, row.stats.CacheMisses, row.stats.Coalesced, row.stats.Failures)
+	}
+}
+
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// startOrigin serves deterministic generated JavaScript: any /*.js path
+// yields a distinct-but-reproducible script whose content is derived
+// from the path, so the hot pool repeats byte-identically and unique
+// paths never collide.
+func startOrigin(loops int) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, generateScript(r.URL.Path, loops))
+	})}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// generateScript emits a parseable loop-heavy script seeded by id, so
+// rewrite cost is uniform across scripts while content (and therefore
+// cache key) differs per id.
+func generateScript(id string, loops int) string {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	seed := h.Sum64() % 1000003
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "var seed = %d;\nvar acc = 0;\n", seed)
+	for i := 0; i < loops; i++ {
+		fmt.Fprintf(&sb, "for (var i%d = 0; i%d < %d; i%d++) { acc += (i%d * seed) %% %d; }\n",
+			i, i, 40+i, i, i, 7+i)
+	}
+	return sb.String()
+}
+
+type roundConfig struct {
+	origin     string
+	mode       instrument.Mode
+	cacheBytes int64
+	clients    int
+	requests   int
+	hot        int
+	uniqueFrac float64
+	seed       int64
+}
+
+type roundResult struct {
+	reqPerSec      float64
+	rewritesPerSec float64
+	p50, p99       time.Duration
+	stats          proxy.Stats
+}
+
+// runRound builds a fresh proxy (fresh cache, so rounds are comparable)
+// and drives cfg.requests through cfg.clients goroutines.
+func runRound(cfg roundConfig) (*roundResult, error) {
+	p, err := proxy.New(cfg.origin, cfg.mode, "")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.cacheBytes == 0 {
+		p.Cache = nil
+	} else {
+		p.Cache = proxy.NewRewriteCache(cfg.cacheBytes)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: p}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	var next, uniqueID atomic.Int64
+	latencies := make([][]time.Duration, cfg.clients)
+	errs := make([]error, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			for int(next.Add(1)) <= cfg.requests {
+				var path string
+				if rng.Float64() < cfg.uniqueFrac {
+					path = fmt.Sprintf("/unique/%d.js", uniqueID.Add(1))
+				} else {
+					path = fmt.Sprintf("/hot/%d.js", rng.Intn(cfg.hot))
+				}
+				t0 := time.Now()
+				body, err := get(client, base+path)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+				if !strings.Contains(body, "__ceres") {
+					errs[w] = fmt.Errorf("response for %s not instrumented", path)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	stats := p.Stats()
+	return &roundResult{
+		reqPerSec:      float64(len(all)) / wall.Seconds(),
+		rewritesPerSec: float64(stats.Rewrites) / wall.Seconds(),
+		p50:            percentile(all, 50),
+		p99:            percentile(all, 99),
+		stats:          stats,
+	}, nil
+}
+
+func get(client *http.Client, rawURL string) (string, error) {
+	if _, err := url.Parse(rawURL); err != nil {
+		return "", err
+	}
+	resp, err := client.Get(rawURL)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", rawURL, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -101,6 +101,7 @@ func main() {
 		content, _ := os.ReadFile(files[len(files)-1])
 		fmt.Printf("--- latest report ---\n%s", content)
 	}
-	fmt.Printf("\nproxy stats: %d instrumented, %d passthrough, %d failures\n",
-		p.Instrumented, p.Passthrough, p.Failures)
+	stats := p.Stats()
+	fmt.Printf("\nproxy stats: %d instrumented, %d passthrough, %d failures, %d rewrites (%d cache hits)\n",
+		stats.Instrumented, stats.Passthrough, stats.Failures, stats.Rewrites, stats.CacheHits)
 }

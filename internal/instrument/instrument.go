@@ -34,6 +34,29 @@ const (
 	ModeLoops
 )
 
+// String returns the command-line name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeLight:
+		return "light"
+	case ModeLoops:
+		return "loops"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode maps a command-line mode name to a Mode; unknown names are
+// an error, never silently defaulted.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "light":
+		return ModeLight, nil
+	case "loops":
+		return ModeLoops, nil
+	}
+	return 0, fmt.Errorf("instrument: unknown mode %q (want light or loops)", name)
+}
+
 // Result is the rewriter's output.
 type Result struct {
 	Source   string

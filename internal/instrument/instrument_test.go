@@ -185,3 +185,22 @@ var out = f();
 		t.Errorf("out = %v, want 4", got)
 	}
 }
+
+func TestParseMode(t *testing.T) {
+	for name, want := range map[string]Mode{"light": ModeLight, "loops": ModeLoops} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if got.String() != name {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), name)
+		}
+	}
+	// Unknown names (e.g. the "loop" typo) must error, never silently
+	// default to ModeLight.
+	for _, bad := range []string{"loop", "deep", ""} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// The rewrite cache: instrumentation (Fig. 5 step 2) is pure — the
+// output depends only on (source bytes, mode) — so the proxy can be
+// scaled from "re-parse every script on every request" to "one rewrite
+// per distinct script" with a content-addressed cache. Two properties
+// make it production-shaped rather than a map with a mutex:
+//
+//   - single-flight: N simultaneous requests for the same uncached
+//     script cost one instrument.Rewrite; the N-1 latecomers block on
+//     the first caller's result instead of duplicating the parse.
+//   - bounded memory: entries are charged their rewritten size against
+//     a byte budget and evicted least-recently-used, so a proxy facing
+//     an unbounded universe of scripts cannot grow without limit.
+package proxy
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/instrument"
+)
+
+// DefaultCacheBytes is the rewrite-cache budget used by New.
+const DefaultCacheBytes = 64 << 20
+
+// negativeEntryCost is the charged size of a cached rewrite *failure*.
+// Broken scripts produce no rewritten bytes but remembering that they
+// are broken is what stops a hot unparsable script from forcing a full
+// parse attempt on every request.
+const negativeEntryCost = 128
+
+// cacheKey content-addresses a rewrite: same bytes + same mode = same
+// output, regardless of URL, so renamed or re-served copies of one
+// script share an entry.
+type cacheKey struct {
+	sum  [sha256.Size]byte
+	mode instrument.Mode
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte // rewritten source; nil for a negative entry
+	err  error  // non-nil for a negative entry
+	cost int64
+}
+
+// flight is one in-progress rewrite that concurrent callers wait on.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// RewriteCache is a content-addressed, single-flight, LRU-bounded cache
+// around instrument.Rewrite. It is safe for concurrent use.
+type RewriteCache struct {
+	mu       sync.Mutex
+	max      int64
+	cur      int64
+	lru      *list.List // of *cacheEntry; front = most recently used
+	entries  map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
+
+	hits      int64
+	misses    int64
+	coalesced int64
+	rewrites  int64
+	evictions int64
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	// Hits served a completed entry.
+	Hits int64
+	// Misses paid a full instrument.Rewrite.
+	Misses int64
+	// Coalesced joined another caller's in-flight rewrite.
+	Coalesced int64
+	// Rewrites counts actual instrument.Rewrite invocations
+	// (== Misses; kept separate so the invariant is checkable).
+	Rewrites int64
+	// Evictions counts entries dropped to stay under the byte budget.
+	Evictions int64
+	// Bytes and Entries describe current residency.
+	Bytes   int64
+	Entries int64
+}
+
+// NewRewriteCache returns a cache bounded to maxBytes of rewritten
+// source (DefaultCacheBytes if maxBytes <= 0).
+func NewRewriteCache(maxBytes int64) *RewriteCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &RewriteCache{
+		max:      maxBytes,
+		lru:      list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*flight),
+	}
+}
+
+// Rewrite returns the instrumented form of src under mode, computing it
+// at most once per distinct (content, mode) while the entry stays
+// resident. The returned slice is shared across callers and must not be
+// modified. A rewrite error is cached too (cheaply), so hot broken
+// scripts do not re-parse per request.
+func (c *RewriteCache) Rewrite(src []byte, mode instrument.Mode) ([]byte, error) {
+	key := cacheKey{sum: sha256.Sum256(src), mode: mode}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.hits++
+		body, err := e.body, e.err
+		c.mu.Unlock()
+		return body, err
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.body, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.rewrites++
+	c.mu.Unlock()
+
+	res, err := instrument.Rewrite(string(src), mode)
+	if err == nil {
+		f.body = []byte(res.Source)
+	}
+	f.err = err
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.insertLocked(key, f.body, err)
+	c.mu.Unlock()
+	return f.body, err
+}
+
+func (c *RewriteCache) insertLocked(key cacheKey, body []byte, err error) {
+	cost := int64(len(body))
+	if err != nil {
+		cost = negativeEntryCost
+	}
+	if cost > c.max {
+		// An entry larger than the whole budget would evict everything
+		// and still not fit; serve it uncached.
+		return
+	}
+	for c.cur+cost > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.cur -= e.cost
+		c.evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, body: body, err: err, cost: cost})
+	c.cur += cost
+}
+
+// Stats snapshots the counters.
+func (c *RewriteCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Rewrites:  c.rewrites,
+		Evictions: c.evictions,
+		Bytes:     c.cur,
+		Entries:   int64(len(c.entries)),
+	}
+}

@@ -5,18 +5,29 @@
 // human-readable reports paired with the original sources (step 6; the
 // paper pushes them to github.com — here they go to a local report
 // directory, which is the substitution DESIGN.md documents).
+//
+// The proxy is built to sit on the hot path of every page load: rewrites
+// go through a content-addressed single-flight cache (cache.go),
+// forwarding follows reverse-proxy rules (hop-by-hop headers stripped in
+// both directions per RFC 9110 §7.6.1, escaped paths preserved, non-JS
+// bodies streamed), and all counters are exposed through the race-free
+// Stats accessor and the /__ceres/stats endpoint.
 package proxy
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/textproto"
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/instrument"
@@ -32,15 +43,50 @@ type Proxy struct {
 	ReportDir string
 	// Client performs upstream requests (http.DefaultClient by default).
 	Client *http.Client
+	// Cache dedupes rewrites across requests. nil disables caching:
+	// every JavaScript response is rewritten from scratch.
+	Cache *RewriteCache
+	// StatsEndpoint serves GET /__ceres/stats as JSON when true.
+	StatsEndpoint bool
+
+	instrumented atomic.Int64
+	passthrough  atomic.Int64
+	failures     atomic.Int64
+	// uncachedRewrites counts direct instrument.Rewrite calls made when
+	// Cache is nil (the cache tracks its own).
+	uncachedRewrites atomic.Int64
+	seq              atomic.Int64
 
 	mu      sync.Mutex
 	results []Report
-	// Instrumented counts rewritten responses.
-	Instrumented int
-	// Passthrough counts untouched responses.
-	Passthrough int
-	// Failures counts unparsable scripts passed through unmodified.
-	Failures int
+}
+
+// Stats is a consistent-enough snapshot of the proxy's counters: each
+// field is individually exact; the set is assembled without a global
+// pause, so fields racing with live traffic may be offset by in-flight
+// requests.
+type Stats struct {
+	// Instrumented counts responses served with a rewritten body.
+	Instrumented int64 `json:"instrumented"`
+	// Passthrough counts responses forwarded untouched (non-JS or
+	// non-200).
+	Passthrough int64 `json:"passthrough"`
+	// Failures counts JS responses passed through unmodified because
+	// the rewrite failed (step 2 must never break the page).
+	Failures int64 `json:"failures"`
+	// Rewrites counts actual instrument.Rewrite invocations, cached and
+	// uncached paths combined.
+	Rewrites int64 `json:"rewrites"`
+	// CacheHits/CacheMisses/Coalesced/CacheEvictions/CacheBytes/
+	// CacheEntries mirror RewriteCache.Stats (zero when Cache is nil).
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	Coalesced      int64 `json:"coalesced"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	CacheEntries   int64 `json:"cache_entries"`
+	// Reports counts result uploads accepted on /__ceres/results.
+	Reports int64 `json:"reports"`
 }
 
 // Report is one result upload from the exercised page.
@@ -50,13 +96,45 @@ type Report struct {
 	Body     json.RawMessage `json:"body"`
 }
 
-// New returns a proxy for the given origin.
+// New returns a proxy for the given origin with a DefaultCacheBytes
+// rewrite cache and the stats endpoint enabled.
 func New(origin string, mode instrument.Mode, reportDir string) (*Proxy, error) {
 	u, err := url.Parse(origin)
 	if err != nil {
 		return nil, fmt.Errorf("proxy: origin: %w", err)
 	}
-	return &Proxy{Origin: u, Mode: mode, ReportDir: reportDir, Client: http.DefaultClient}, nil
+	return &Proxy{
+		Origin:        u,
+		Mode:          mode,
+		ReportDir:     reportDir,
+		Client:        http.DefaultClient,
+		Cache:         NewRewriteCache(DefaultCacheBytes),
+		StatsEndpoint: true,
+	}, nil
+}
+
+// Stats snapshots the proxy and cache counters.
+func (p *Proxy) Stats() Stats {
+	s := Stats{
+		Instrumented: p.instrumented.Load(),
+		Passthrough:  p.passthrough.Load(),
+		Failures:     p.failures.Load(),
+		Rewrites:     p.uncachedRewrites.Load(),
+	}
+	p.mu.Lock()
+	s.Reports = int64(len(p.results))
+	p.mu.Unlock()
+	if p.Cache != nil {
+		cs := p.Cache.Stats()
+		s.Rewrites += cs.Rewrites
+		s.CacheHits = cs.Hits
+		s.CacheMisses = cs.Misses
+		s.Coalesced = cs.Coalesced
+		s.CacheEvictions = cs.Evictions
+		s.CacheBytes = cs.Bytes
+		s.CacheEntries = cs.Entries
+	}
+	return s
 }
 
 // ServeHTTP implements http.Handler.
@@ -65,68 +143,136 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.handleResults(w, r)
 		return
 	}
+	if r.URL.Path == "/__ceres/stats" && p.StatsEndpoint && r.Method == http.MethodGet {
+		p.handleStats(w)
+		return
+	}
 	p.forward(w, r)
+}
+
+// hopByHopHeaders are the connection-scoped fields of RFC 9110 §7.6.1
+// (plus the de-facto Proxy-Connection); a proxy must not forward them in
+// either direction, in addition to any field named by Connection.
+var hopByHopHeaders = []string{
+	"Connection",
+	"Proxy-Connection",
+	"Keep-Alive",
+	"Proxy-Authenticate",
+	"Proxy-Authorization",
+	"TE",
+	"Trailer",
+	"Transfer-Encoding",
+	"Upgrade",
+}
+
+// stripHopByHop removes the headers named in Connection, then the
+// well-known hop-by-hop set.
+func stripHopByHop(h http.Header) {
+	for _, field := range h.Values("Connection") {
+		for _, name := range strings.Split(field, ",") {
+			if name = textproto.TrimString(name); name != "" {
+				h.Del(name)
+			}
+		}
+	}
+	for _, name := range hopByHopHeaders {
+		h.Del(name)
+	}
+}
+
+// copyEndToEndHeaders copies src into dst minus hop-by-hop fields.
+func copyEndToEndHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+	stripHopByHop(dst)
 }
 
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 	up := *p.Origin
+	// Preserve the escaped form: a path like /a%2Fb must reach the
+	// origin as sent, not decoded-and-re-encoded into /a/b.
 	up.Path = r.URL.Path
+	up.RawPath = r.URL.RawPath
 	up.RawQuery = r.URL.RawQuery
-	req, err := http.NewRequest(r.Method, up.String(), r.Body)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, up.String(), r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	req.Header = r.Header.Clone()
+	stripHopByHop(req.Header)
+	// Let the transport negotiate encoding: forwarding the browser's
+	// Accept-Encoding verbatim could yield a compressed body the
+	// rewriter cannot parse; the transport's implicit gzip is
+	// decompressed transparently before we see it.
+	req.Header.Del("Accept-Encoding")
+
 	resp, err := p.Client.Do(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK || !isJavaScript(resp.Header.Get("Content-Type"), r.URL.Path) {
+		// Non-JS (and non-200) responses stream through without
+		// buffering — images and videos never sit in proxy memory.
+		p.passthrough.Add(1)
+		copyEndToEndHeaders(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-
-	ct := resp.Header.Get("Content-Type")
-	if resp.StatusCode == http.StatusOK && isJavaScript(ct, r.URL.Path) {
-		if rewritten, err := instrument.Rewrite(string(body), p.Mode); err == nil {
-			body = []byte(rewritten.Source)
-			p.mu.Lock()
-			p.Instrumented++
-			p.mu.Unlock()
-		} else {
-			// Step 2 must never break the page: unparsable scripts pass
-			// through untouched.
-			p.mu.Lock()
-			p.Failures++
-			p.mu.Unlock()
-		}
+	out, rerr := p.rewrite(body)
+	if rerr != nil {
+		// Step 2 must never break the page: unparsable scripts pass
+		// through untouched.
+		p.failures.Add(1)
+		out = body
 	} else {
-		p.mu.Lock()
-		p.Passthrough++
-		p.mu.Unlock()
+		p.instrumented.Add(1)
 	}
-
-	for k, vs := range resp.Header {
-		if k == "Content-Length" {
-			continue
-		}
-		for _, v := range vs {
-			w.Header().Add(k, v)
-		}
-	}
+	copyEndToEndHeaders(w.Header(), resp.Header)
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
 	w.WriteHeader(resp.StatusCode)
-	_, _ = w.Write(body)
+	_, _ = w.Write(out)
+}
+
+// rewrite instruments src through the cache when one is configured.
+func (p *Proxy) rewrite(src []byte) ([]byte, error) {
+	if p.Cache != nil {
+		return p.Cache.Rewrite(src, p.Mode)
+	}
+	p.uncachedRewrites.Add(1)
+	res, err := instrument.Rewrite(string(src), p.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(res.Source), nil
 }
 
 func isJavaScript(contentType, path string) bool {
-	if strings.Contains(contentType, "javascript") {
+	ct := strings.ToLower(contentType)
+	if strings.Contains(ct, "javascript") || strings.Contains(ct, "ecmascript") {
 		return true
 	}
-	return strings.HasSuffix(path, ".js")
+	return strings.HasSuffix(path, ".js") || strings.HasSuffix(path, ".mjs")
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p.Stats())
 }
 
 func (p *Proxy) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -144,17 +290,18 @@ func (p *Proxy) handleResults(w http.ResponseWriter, r *http.Request) {
 		Received: time.Now(),
 		Body:     json.RawMessage(body),
 	}
-	p.mu.Lock()
-	p.results = append(p.results, rep)
-	n := len(p.results)
-	p.mu.Unlock()
-
+	// Save before appending so memory and disk cannot diverge: a failed
+	// write 500s without leaving a phantom in-memory report.
+	seq := p.seq.Add(1)
 	if p.ReportDir != "" {
-		if err := p.saveReport(n, rep); err != nil {
+		if err := p.saveReport(int(seq), rep); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
+	p.mu.Lock()
+	p.results = append(p.results, rep)
+	p.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -163,21 +310,18 @@ func (p *Proxy) saveReport(seq int, rep Report) error {
 	if err := os.MkdirAll(p.ReportDir, 0o755); err != nil {
 		return err
 	}
-	var pretty map[string]any
-	if err := json.Unmarshal(rep.Body, &pretty); err != nil {
-		return err
-	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "JS-CERES report #%d\npage: %s\nreceived: %s\n\n",
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "JS-CERES report #%d\npage: %s\nreceived: %s\n\n",
 		seq, rep.Path, rep.Received.Format(time.RFC3339))
-	enc, err := json.MarshalIndent(pretty, "", "  ")
-	if err != nil {
+	// json.Indent pretty-prints any valid JSON value — objects, arrays,
+	// bare numbers — where unmarshalling into map[string]any rejected
+	// everything but objects.
+	if err := json.Indent(&buf, rep.Body, "", "  "); err != nil {
 		return err
 	}
-	sb.Write(enc)
-	sb.WriteByte('\n')
+	buf.WriteByte('\n')
 	name := filepath.Join(p.ReportDir, fmt.Sprintf("report-%03d.txt", seq))
-	return os.WriteFile(name, []byte(sb.String()), 0o644)
+	return os.WriteFile(name, buf.Bytes(), 0o644)
 }
 
 // Results returns the received reports.

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/instrument"
@@ -133,8 +134,8 @@ func TestFig5EndToEnd(t *testing.T) {
 	if !strings.Contains(string(content), "inLoopsMs") || !strings.Contains(string(content), "/app.js") {
 		t.Errorf("report content unexpected:\n%s", content)
 	}
-	if p.Instrumented != 1 {
-		t.Errorf("Instrumented = %d, want 1", p.Instrumented)
+	if got := p.Stats().Instrumented; got != 1 {
+		t.Errorf("Instrumented = %d, want 1", got)
 	}
 }
 
@@ -146,8 +147,8 @@ func TestProxyPassesThroughHTML(t *testing.T) {
 	if strings.Contains(body, "__ceres") {
 		t.Errorf("HTML was instrumented: %s", body)
 	}
-	if p.Passthrough != 1 {
-		t.Errorf("Passthrough = %d, want 1", p.Passthrough)
+	if got := p.Stats().Passthrough; got != 1 {
+		t.Errorf("Passthrough = %d, want 1", got)
 	}
 }
 
@@ -162,8 +163,284 @@ func TestProxyFailsafeOnBrokenJS(t *testing.T) {
 	if body != "function ( { this is not js" {
 		t.Errorf("broken script modified: %q", body)
 	}
-	if p.Failures != 1 {
-		t.Errorf("Failures = %d, want 1", p.Failures)
+	if got := p.Stats().Failures; got != 1 {
+		t.Errorf("Failures = %d, want 1", got)
+	}
+}
+
+// TestHopByHopHeadersStripped is the RFC 9110 §7.6.1 regression test:
+// hop-by-hop fields — the well-known set plus anything named in
+// Connection — must not be forwarded upstream, and must not come back
+// downstream.
+func TestHopByHopHeadersStripped(t *testing.T) {
+	var upstreamSaw http.Header
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		upstreamSaw = r.Header.Clone()
+		w.Header().Set("X-Origin", "yes")
+		w.Header().Set("Keep-Alive", "timeout=5")
+		w.Header().Set("Upgrade", "websocket")
+		w.Header().Set("X-Hop", "secret")
+		w.Header().Set("Connection", "x-hop")
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "ok")
+	}))
+	defer origin.Close()
+	p, _ := newProxy(t, origin.URL, "")
+
+	req := httptest.NewRequest(http.MethodGet, "/page", nil)
+	req.Header.Set("Connection", "keep-alive, x-private")
+	req.Header.Set("X-Private", "do-not-forward")
+	req.Header.Set("Keep-Alive", "timeout=5")
+	req.Header.Set("Upgrade", "websocket")
+	req.Header.Set("X-Public", "forward-me")
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	for _, h := range []string{"X-Private", "Keep-Alive", "Upgrade", "Connection"} {
+		if got := upstreamSaw.Get(h); got != "" {
+			t.Errorf("hop-by-hop request header %s forwarded upstream: %q", h, got)
+		}
+	}
+	if got := upstreamSaw.Get("X-Public"); got != "forward-me" {
+		t.Errorf("end-to-end request header lost: X-Public = %q", got)
+	}
+	for _, h := range []string{"Keep-Alive", "Upgrade", "X-Hop", "Connection"} {
+		if got := rec.Header().Get(h); got != "" {
+			t.Errorf("hop-by-hop response header %s forwarded downstream: %q", h, got)
+		}
+	}
+	if got := rec.Header().Get("X-Origin"); got != "yes" {
+		t.Errorf("end-to-end response header lost: X-Origin = %q", got)
+	}
+}
+
+// TestStripHopByHop covers the header scrubber directly, including the
+// Connection-named extension token.
+func TestStripHopByHop(t *testing.T) {
+	h := http.Header{}
+	h.Set("Connection", "close, x-custom")
+	h.Set("X-Custom", "1")
+	h.Set("Proxy-Connection", "keep-alive")
+	h.Set("TE", "trailers")
+	h.Set("Trailer", "Expires")
+	h.Set("Transfer-Encoding", "chunked")
+	h.Set("Proxy-Authorization", "Basic abc")
+	h.Set("Content-Type", "text/plain")
+	stripHopByHop(h)
+	if len(h) != 1 || h.Get("Content-Type") != "text/plain" {
+		t.Errorf("after strip: %v, want only Content-Type", h)
+	}
+}
+
+// TestProxyPreservesEscapedPath: /files/a%2Fb must reach the origin in
+// its escaped form, not re-encoded as /files/a/b.
+func TestProxyPreservesEscapedPath(t *testing.T) {
+	var sawEscaped string
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawEscaped = r.URL.EscapedPath()
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "ok")
+	}))
+	defer origin.Close()
+	_, srv := newProxy(t, origin.URL, "")
+	body, resp := get(t, srv.URL+"/files/a%2Fb")
+	if resp.StatusCode != http.StatusOK || body != "ok" {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if sawEscaped != "/files/a%2Fb" {
+		t.Errorf("origin saw escaped path %q, want /files/a%%2Fb", sawEscaped)
+	}
+}
+
+// TestProxyConcurrentSingleRewrite is the single-flight contract under
+// -race: N simultaneous requests for one uncached script cost exactly
+// one instrument.Rewrite and every client gets byte-identical output.
+func TestProxyConcurrentSingleRewrite(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	p, srv := newProxy(t, origin.URL, "")
+
+	const n = 32
+	bodies := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(srv.URL + "/app.js")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bodies[i] = string(b)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d got a different body than client 0", i)
+		}
+	}
+	if !strings.Contains(bodies[0], "__ceresEnter") {
+		t.Fatalf("responses not instrumented:\n%s", bodies[0])
+	}
+	s := p.Stats()
+	if s.Rewrites != 1 {
+		t.Errorf("Rewrites = %d, want exactly 1 (single-flight)", s.Rewrites)
+	}
+	if s.Instrumented != n {
+		t.Errorf("Instrumented = %d, want %d", s.Instrumented, n)
+	}
+	if s.CacheMisses != 1 {
+		t.Errorf("CacheMisses = %d, want 1", s.CacheMisses)
+	}
+	if s.CacheHits+s.Coalesced != n-1 {
+		t.Errorf("hits+coalesced = %d+%d, want %d", s.CacheHits, s.Coalesced, n-1)
+	}
+}
+
+// TestCachedUncachedByteIdentical: the cache is an optimization, never a
+// semantic change — responses with and without it match byte for byte,
+// on cold and warm paths alike.
+func TestCachedUncachedByteIdentical(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	cached, cachedSrv := newProxy(t, origin.URL, "")
+	uncached, uncachedSrv := newProxy(t, origin.URL, "")
+	uncached.Cache = nil
+
+	cold, _ := get(t, cachedSrv.URL+"/app.js")
+	warm, _ := get(t, cachedSrv.URL+"/app.js")
+	plain, _ := get(t, uncachedSrv.URL+"/app.js")
+	plain2, _ := get(t, uncachedSrv.URL+"/app.js")
+	if cold != plain || warm != plain || plain != plain2 {
+		t.Fatal("cached and uncached responses differ")
+	}
+	if got := cached.Stats().Rewrites; got != 1 {
+		t.Errorf("cached proxy Rewrites = %d, want 1", got)
+	}
+	if got := uncached.Stats().Rewrites; got != 2 {
+		t.Errorf("uncached proxy Rewrites = %d, want 2", got)
+	}
+}
+
+func TestIsJavaScript(t *testing.T) {
+	cases := []struct {
+		ct, path string
+		want     bool
+	}{
+		{"application/javascript", "/x", true},
+		{"text/javascript;charset=utf-8", "/x", true},
+		{"TEXT/JavaScript; Charset=UTF-8", "/x", true},
+		{"application/ecmascript", "/x", true},
+		{"", "/app.js", true},
+		{"text/plain", "/mod.mjs", true},
+		{"application/json", "/data.json", false},
+		{"text/html", "/index.html", false},
+	}
+	for _, c := range cases {
+		if got := isJavaScript(c.ct, c.path); got != c.want {
+			t.Errorf("isJavaScript(%q, %q) = %v, want %v", c.ct, c.path, got, c.want)
+		}
+	}
+}
+
+// TestProxyInstrumentsMJS checks module-script detection end to end.
+func TestProxyInstrumentsMJS(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/javascript;charset=utf-8")
+		io.WriteString(w, pageJS)
+	}))
+	defer origin.Close()
+	_, srv := newProxy(t, origin.URL, "")
+	body, _ := get(t, srv.URL+"/mod.mjs")
+	if !strings.Contains(body, "__ceresEnter") {
+		t.Errorf("module script not instrumented:\n%s", body)
+	}
+}
+
+// TestSaveReportNonObjectJSON: any valid JSON value — arrays, bare
+// numbers — is a valid report; memory and disk must agree.
+func TestSaveReportNonObjectJSON(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	dir := t.TempDir()
+	p, srv := newProxy(t, origin.URL, dir)
+
+	for _, payload := range []string{`[1, 2, 3]`, `42`} {
+		resp, err := http.Post(srv.URL+"/__ceres/results?page=/app.js", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("payload %q: status %d, want 204", payload, resp.StatusCode)
+		}
+	}
+	if got := len(p.Results()); got != 2 {
+		t.Fatalf("%d reports in memory, want 2", got)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "report-*.txt"))
+	if len(files) != 2 {
+		t.Fatalf("%d report files, want 2 (memory and disk diverged)", len(files))
+	}
+	content, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "1,") {
+		t.Errorf("array report not pretty-printed:\n%s", content)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	_, srv := newProxy(t, origin.URL, "")
+	get(t, srv.URL+"/app.js")
+
+	body, resp := get(t, srv.URL+"/__ceres/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var s Stats
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, body)
+	}
+	if s.Instrumented != 1 || s.Rewrites != 1 {
+		t.Errorf("stats = %+v, want Instrumented=1 Rewrites=1", s)
+	}
+}
+
+func TestStatsEndpointDisabled(t *testing.T) {
+	origin := newOrigin()
+	defer origin.Close()
+	p, srv := newProxy(t, origin.URL, "")
+	p.StatsEndpoint = false
+	_, resp := get(t, srv.URL+"/__ceres/stats")
+	if resp.StatusCode == http.StatusOK && resp.Header.Get("Content-Type") == "application/json" {
+		t.Error("stats endpoint served despite StatsEndpoint=false")
 	}
 }
 
