@@ -29,6 +29,7 @@ import (
 	"repro/internal/js/value"
 	"repro/internal/parallel"
 	"repro/internal/proxy"
+	"repro/internal/rivertrail"
 	"repro/internal/study"
 	"repro/internal/survey"
 	"repro/internal/workloads"
@@ -347,6 +348,48 @@ func benchParallelLoops(b *testing.B, workers int) {
 func BenchmarkParallelLoops1Worker(b *testing.B)  { benchParallelLoops(b, 1) }
 func BenchmarkParallelLoops2Workers(b *testing.B) { benchParallelLoops(b, 2) }
 func BenchmarkParallelLoops4Workers(b *testing.B) { benchParallelLoops(b, 4) }
+
+// ---- Speculative ParallelArray execution (internal/autopar) ----
+
+// The full §5.1/§5.3 loop: ParallelArray.mapPar profiles under the
+// purity guard, then dispatches the remainder across share-nothing
+// worker interpreters. Workers >= 2 exercises serialization, dispatch
+// and merge; 1 is the guarded sequential baseline.
+const autoparBenchSrc = `
+var input = [];
+for (var i = 0; i < 2048; i++) { input.push(i % 251); }
+var out = ParallelArray(input).mapPar(function (x, i) {
+  var acc = 0;
+  for (var j = 0; j < 24; j++) { acc += (x * 31 + i + j * j) % 97; }
+  return acc;
+});
+var sig = out.get(0) + out.get(2047);
+`
+
+func benchAutopar(b *testing.B, workers int) {
+	prog := parser.MustParse(autoparBenchSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := interp.New()
+		st := rivertrail.Install(in)
+		st.SetWorkers(workers)
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+		rep := st.Last()
+		if workers >= 2 && (!rep.Parallel || rep.Workers < 2) {
+			b.Fatalf("speculation did not engage: %+v", rep)
+		}
+		if workers < 2 && rep.Workers != 1 {
+			b.Fatalf("sequential baseline dispatched: %+v", rep)
+		}
+	}
+}
+
+func BenchmarkAutoparSequential(b *testing.B) { benchAutopar(b, 1) }
+func BenchmarkAutopar2Workers(b *testing.B)   { benchAutopar(b, 2) }
+func BenchmarkAutopar4Workers(b *testing.B)   { benchAutopar(b, 4) }
+func BenchmarkAutopar8Workers(b *testing.B)   { benchAutopar(b, 8) }
 
 // ---- River Trail primitive speedups (reduce / filter / scan) ----
 

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	casestudy [-table=all|1|2|3|amdahl|fortuna] [-scale=N] [-seed=N] [-workers=N] [-timing]
+//	casestudy [-table=all|1|2|3|amdahl|fortuna|exec] [-exec] [-scale=N] [-seed=N] [-workers=N] [-timing]
 //
 // -scale divides workload sizes (1 = full Table 2/3 configuration).
 // -workers sizes the orchestrator's goroutine pool (0 = GOMAXPROCS,
 // 1 = sequential); output is byte-identical at every worker count.
 // -timing appends the per-job and end-to-end wall-clock report.
+// -exec (or -table=exec) runs ModeExec instead: every ParallelArray-
+// convertible hot loop executes through the speculative autopar engine
+// at a ladder of worker counts (1/2/4/8 by default; -workers N narrows
+// the ladder to {1, N}), reporting measured speedup next to the ModeDeep
+// Amdahl bound.
 package main
 
 import (
@@ -25,20 +30,45 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which artifact to print: all, 1, 2, 3, amdahl, fortuna")
+	table := flag.String("table", "all", "which artifact to print: all, 1, 2, 3, amdahl, fortuna, exec")
+	execMode := flag.Bool("exec", false, "run ModeExec: speculative ParallelArray execution with measured speedup")
 	scaleDiv := flag.Int("scale", 1, "divide workload sizes by N (1 = paper-scale)")
 	seed := flag.Uint64("seed", 7, "deterministic seed")
-	workers := flag.Int("workers", 0, "orchestrator pool size (0 = GOMAXPROCS, 1 = sequential)")
+	workers := flag.Int("workers", 0, "orchestrator pool size (0 = GOMAXPROCS, 1 = sequential); with -exec, the top of the {1, N} measurement ladder")
 	timing := flag.Bool("timing", false, "print per-job and total wall-clock times to stderr")
 	flag.Parse()
 
 	switch *table {
-	case "all", "1", "2", "3", "amdahl", "fortuna":
+	case "all", "1", "2", "3", "amdahl", "fortuna", "exec":
 	default:
 		fatal(fmt.Errorf("unknown -table=%s", *table))
 	}
 
 	workloads.SetScale(workloads.Scale{Div: *scaleDiv})
+
+	if *execMode || *table == "exec" {
+		if *execMode && *table != "all" && *table != "exec" {
+			fatal(fmt.Errorf("-exec conflicts with -table=%s (exec prints only the ModeExec table)", *table))
+		}
+		if *timing {
+			fmt.Fprintln(os.Stderr, "casestudy: -timing does not apply to -exec (wall clock is in the table itself)")
+		}
+		counts := study.ExecWorkerCounts
+		if *workers > 0 {
+			counts = []int{1, *workers}
+		}
+		rows, measured, err := study.RunExecAll(*seed, counts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Exec(rows, measured))
+		for _, r := range rows {
+			if !r.Identical {
+				fatal(fmt.Errorf("exec: %s/%s output not byte-identical across worker counts", r.App, r.Loop))
+			}
+		}
+		return
+	}
 
 	if *table == "1" {
 		fmt.Print(report.Table1(workloads.All()))

@@ -1,0 +1,557 @@
+// Package autopar closes the paper's analyze → execute loop (§5.1/§5.3):
+// it is a speculate-then-verify execution engine that makes ParallelArray
+// operations genuinely parallel instead of merely classifying them.
+//
+// A speculative run has four phases:
+//
+//  1. Profile: a leading slice of the elements runs the elemental
+//     function sequentially on the main interpreter under the purity
+//     Guard. Any write to pre-existing state aborts the plan here, with
+//     the §5.3 reason naming the variable or property.
+//  2. Plan: the elemental function's source is re-printed from its AST
+//     and its closure captures are serialized (capture.go); the input
+//     slice is checked element-by-element for crossability. Anything
+//     that cannot move between share-nothing interpreters aborts.
+//  3. Dispatch: the remaining elements execute on a pool of worker
+//     goroutines, one private interpreter per worker (built on
+//     internal/parallel's Kernel/Worker machinery), each armed with its
+//     own Guard: an impurity that only manifests beyond the profiled
+//     slice is detected on the worker, not silently raced. Results cross
+//     back only if primitive.
+//  4. Verify/fallback: any worker-side violation, error, or non-crossable
+//     result abandons the speculation and re-executes the remainder
+//     sequentially on the main interpreter, preserving exact sequential
+//     semantics (side effects, exception order). With Options.Verify the
+//     merged parallel result is additionally cross-checked bit-identical
+//     against a sequential shadow run; a divergence (misspeculation) is
+//     reported and the sequential values win.
+//
+// The Outcome of every operation reports what happened and why, feeding
+// RiverTrailReport() — the paper's requirement that speculation "not
+// only ... abort when it fails to run a loop in parallel, but also have
+// ways to report to the developer the reason for aborting."
+package autopar
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/interp"
+	"repro/internal/js/printer"
+	"repro/internal/js/value"
+	"repro/internal/parallel"
+)
+
+// Options configures one speculative operation.
+type Options struct {
+	// Workers is the pool size for the dispatched remainder; < 2 disables
+	// speculation (everything runs sequentially under the guard).
+	Workers int
+	// Profile is the number of leading elements run under the guard
+	// before dispatch (0 = n/8 clamped to [1, 64]).
+	Profile int
+	// MinDispatch is the smallest remainder worth dispatching (0 = 4).
+	MinDispatch int
+	// Verify cross-checks the parallel result bit-identical against a
+	// sequential shadow run (used by tests and ModeExec validation).
+	Verify bool
+}
+
+// Outcome reports one speculative operation.
+type Outcome struct {
+	// Op is "mapPar", "filterPar" or "reducePar".
+	Op string
+	// Pure is true when no purity violation was observed (profile slice
+	// and worker guards all clean).
+	Pure bool
+	// Parallel is true when the remainder actually executed on >= 2
+	// workers and the merge survived all checks.
+	Parallel bool
+	// Workers is the number of goroutines that executed the plan
+	// (1 = sequential).
+	Workers int
+	// Profiled counts elements run under the guard on the main
+	// interpreter; Dispatched counts elements executed on the pool.
+	Profiled, Dispatched int
+	// Elements is the total processed.
+	Elements int
+	// Misspeculated is true when Verify found a divergence.
+	Misspeculated bool
+	// AbortReason is the §5.3-style reason the plan fell back ("" when
+	// the speculation succeeded or never started).
+	AbortReason string
+}
+
+const (
+	defaultMinDispatch = 4
+	maxProfile         = 64
+)
+
+func (o Options) profileCount(n int) int {
+	p := o.Profile
+	if p <= 0 {
+		p = n / 8
+		if p < 1 {
+			p = 1
+		}
+		if p > maxProfile {
+			p = maxProfile
+		}
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+func (o Options) minDispatch() int {
+	if o.MinDispatch > 0 {
+		return o.MinDispatch
+	}
+	return defaultMinDispatch
+}
+
+// call invokes fn on the main interpreter; JS throws propagate as panics
+// exactly like the sequential path (enclosing try/catch or SafeCall
+// boundaries handle them; Guard.With restores hooks on unwind).
+func call(in *interp.Interp, fn value.Value, args ...value.Value) value.Value {
+	v, _ := in.CallFunction(fn, value.Undefined(), args)
+	return v
+}
+
+// plan is one prepared speculative dispatch.
+type plan struct {
+	kernel *parallel.Kernel
+	base   int // first dispatched element index
+	n      int // total elements
+}
+
+// buildPlan serializes fn and the remainder elems[base:] into a
+// share-nothing kernel. A non-empty abort string means the operation must
+// stay sequential.
+func buildPlan(op string, in *interp.Interp, fn value.Value, elems []value.Value, base int) (*plan, string) {
+	if !fn.IsCallable() {
+		return nil, "elemental is not a function"
+	}
+	caps, abort := newCapturePlan(in, fn.Object())
+	if abort != "" {
+		return nil, abort
+	}
+	for i := base; i < len(elems); i++ {
+		if elems[i].IsObject() {
+			return nil, fmt.Sprintf("element %d is an object; cannot cross share-nothing workers", i)
+		}
+	}
+	lit := fn.Object().Fn.Decl.(*ast.FuncLit)
+	elemental := printer.PrintExpr(lit)
+
+	var body string
+	switch op {
+	case "filterPar":
+		// Coerce on the worker so only booleans cross interpreters.
+		body = "return __elemental(__input[i - __base], i) ? true : false;"
+	default:
+		body = "return __elemental(__input[i - __base], i);"
+	}
+	src := caps.prelude() + "\nvar __elemental = " + elemental + ";\n" +
+		"function kernel(i) {\n  " + body + "\n}\n" +
+		// Chunked fold for reducePar: acc seeds from the chunk's first
+		// element, then folds left with the elemental as combiner.
+		"function __chunkReduce(lo, hi) {\n" +
+		"  var acc = __input[lo - __base];\n" +
+		"  for (var i = lo + 1; i < hi; i++) {\n" +
+		"    acc = __elemental(acc, __input[i - __base], i);\n" +
+		"  }\n  return acc;\n}\n"
+
+	remainder := elems[base:]
+	setup := func(win *interp.Interp) error {
+		// Per-worker copies: primitives are immutable, the array object is
+		// private to the worker.
+		copyElems := append([]value.Value(nil), remainder...)
+		win.SetGlobal("__input", value.ObjectVal(win.NewArray(copyElems...)))
+		win.SetGlobal("__base", value.Int(base))
+		caps.install(win)
+		return nil
+	}
+	return &plan{
+		kernel: &parallel.Kernel{Source: src, Setup: setup},
+		base:   base,
+		n:      len(elems),
+	}, ""
+}
+
+// workerFault is the first failure observed on the pool.
+type workerFault struct {
+	reason string // §5.3-style abort reason
+	impure bool   // true when a worker guard flagged a write
+}
+
+// startWorker builds one guarded share-nothing worker for the plan.
+func (p *plan) startWorker(wi int) (*parallel.Worker, *Guard, *workerFault) {
+	w, err := p.kernel.NewWorker()
+	if err != nil {
+		return nil, nil, &workerFault{reason: fmt.Sprintf("worker %d failed to start: %v", wi, err)}
+	}
+	guard := NewGuard()
+	guard.Activate(w.Interp())
+	return w, guard, nil
+}
+
+// triage converts one worker-call outcome into a fault (nil = ok): call
+// error first, then guard violation (impure), then a result that cannot
+// cross share-nothing interpreters.
+func triage(wi int, what string, v value.Value, err error, guard *Guard) *workerFault {
+	if err != nil {
+		return &workerFault{reason: fmt.Sprintf("worker %d: %s: %v", wi, what, err)}
+	}
+	if vi := guard.Violation(); vi != "" {
+		return &workerFault{reason: fmt.Sprintf("speculation aborted on worker %d: %s", wi, vi), impure: true}
+	}
+	if v.IsObject() {
+		return &workerFault{reason: fmt.Sprintf("%s is an object; cannot cross share-nothing workers", what)}
+	}
+	return nil
+}
+
+// dispatch runs plan element indices [base, n) across workers, writing
+// kernel results into out[i]. It returns the worker count used and the
+// first fault (nil on success).
+func (p *plan) dispatch(workers int, out []value.Value) (int, *workerFault) {
+	rem := p.n - p.base
+	if workers > rem {
+		workers = rem
+	}
+	faults := make([]*workerFault, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, guard, fault := p.startWorker(wi)
+			if fault != nil {
+				faults[wi] = fault
+				return
+			}
+			lo, hi := parallel.Chunk(rem, workers, wi)
+			for i := p.base + lo; i < p.base+hi; i++ {
+				v, err := w.CallKernel(i)
+				// Fast path first: the fault label is formatted only when
+				// a fault actually occurred (this loop is the measured
+				// parallel hot path).
+				if err != nil || v.IsObject() || guard.Violation() != "" {
+					faults[wi] = triage(wi, fmt.Sprintf("kernel(%d) result", i), v, err, guard)
+					return
+				}
+				out[i] = v
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, f := range faults {
+		if f != nil {
+			return workers, f
+		}
+	}
+	return workers, nil
+}
+
+// reduceDispatch folds [base, n) in per-worker chunks, returning the
+// chunk partials in order (all crossable) plus each chunk's start index.
+func (p *plan) reduceDispatch(workers int) ([]value.Value, []int, int, *workerFault) {
+	rem := p.n - p.base
+	if workers > rem {
+		workers = rem
+	}
+	partials := make([]value.Value, workers)
+	starts := make([]int, workers)
+	faults := make([]*workerFault, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, guard, fault := p.startWorker(wi)
+			if fault != nil {
+				faults[wi] = fault
+				return
+			}
+			fold, err := w.Callable("__chunkReduce")
+			if err != nil {
+				faults[wi] = &workerFault{reason: err.Error()}
+				return
+			}
+			lo, hi := parallel.Chunk(rem, workers, wi)
+			starts[wi] = p.base + lo
+			v, err := w.Call(fold, value.Int(p.base+lo), value.Int(p.base+hi))
+			what := fmt.Sprintf("chunk partial [%d,%d)", p.base+lo, p.base+hi)
+			if f := triage(wi, what, v, err, guard); f != nil {
+				faults[wi] = f
+				return
+			}
+			partials[wi] = v
+		}(wi)
+	}
+	wg.Wait()
+	for _, f := range faults {
+		if f != nil {
+			return nil, nil, workers, f
+		}
+	}
+	return partials, starts, workers, nil
+}
+
+// MapSpec executes out[i] = fn(elems[i], i) speculatively.
+func MapSpec(in *interp.Interp, fn value.Value, elems []value.Value, opts Options) ([]value.Value, Outcome) {
+	out := make([]value.Value, len(elems))
+	oc := speculate(in, "mapPar", fn, elems, opts, out, identity)
+	return out, oc
+}
+
+// FilterSpec evaluates keep[i] = ToBoolean(fn(elems[i], i)) speculatively.
+func FilterSpec(in *interp.Interp, fn value.Value, elems []value.Value, opts Options) ([]bool, Outcome) {
+	vals := make([]value.Value, len(elems))
+	// Canonicalize to booleans on both sides: workers coerce on the
+	// kernel (only booleans cross interpreters), so the main-side
+	// profile, fallback and Verify shadow must compare in the same
+	// domain — a truthy non-boolean predicate result is not a
+	// misspeculation.
+	oc := speculate(in, "filterPar", fn, elems, opts, vals, toBoolean)
+	keep := make([]bool, len(vals))
+	for i, v := range vals {
+		keep[i] = v.ToBool()
+	}
+	return keep, oc
+}
+
+func identity(v value.Value) value.Value  { return v }
+func toBoolean(v value.Value) value.Value { return value.Bool(v.ToBool()) }
+
+// speculate is the shared map/filter engine: profile under guard, plan,
+// dispatch, verify or fall back. coerce canonicalizes main-side results
+// into the same domain worker results arrive in (identity for map,
+// ToBoolean for filter).
+func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value, opts Options, out []value.Value, coerce func(value.Value) value.Value) Outcome {
+	n := len(elems)
+	oc := Outcome{Op: op, Elements: n, Workers: 1, Pure: true}
+	if n == 0 {
+		return oc
+	}
+
+	base := opts.profileCount(n)
+	wantSpec := opts.Workers >= 2 && n-base >= opts.minDispatch()
+
+	limit := n
+	if wantSpec {
+		limit = base
+	}
+	executed, violation := profileUnderGuard(in, 0, limit, n, func(i int) {
+		out[i] = coerce(call(in, fn, elems[i], value.Int(i)))
+	})
+	oc.Profiled = executed
+	if violation != "" {
+		oc.Pure = false
+		oc.AbortReason = "aborted parallel plan: " + violation
+		return oc
+	}
+	if !wantSpec {
+		return oc
+	}
+
+	// Plan only after a clean profile: serialization (capture analysis,
+	// AST re-print, crossability scan) is wasted work for a kernel the
+	// guard already rejected.
+	pl, abort := buildPlan(op, in, fn, elems, base)
+	if abort != "" {
+		oc.AbortReason = "aborted parallel plan: " + abort
+		sequentialRemainder(in, fn, elems, base, out, coerce, &oc)
+		return oc
+	}
+
+	workers, fault := pl.dispatch(opts.Workers, out)
+	if fault != nil {
+		oc.Pure = !fault.impure && oc.Pure
+		oc.AbortReason = "aborted parallel plan: " + fault.reason
+		sequentialRemainder(in, fn, elems, base, out, coerce, &oc)
+		return oc
+	}
+	// dispatch clamps to the remainder size; a 1-worker dispatch is not
+	// parallel execution, whatever the options asked for.
+	oc.Parallel = workers >= 2
+	oc.Workers = workers
+	oc.Dispatched = n - base
+
+	if opts.Verify {
+		if at := verifyRemainder(in, fn, elems, base, out, coerce); at >= 0 {
+			oc.Misspeculated = true
+			oc.Parallel = false
+			oc.Workers = 1
+			oc.Dispatched = 0
+			oc.AbortReason = fmt.Sprintf("misspeculation: parallel result diverged from sequential shadow at element %d", at)
+		}
+	}
+	return oc
+}
+
+// profileUnderGuard runs body(i) for i in [start, n) under a fresh
+// purity guard chained onto the interpreter's installed hooks. While
+// the guard is clean it stops at limit — the speculation handoff
+// point; once the guard trips, it runs to completion instead (the
+// classic guarded sequential fallback). Returns the elements executed
+// and the guard violation ("" when clean).
+func profileUnderGuard(in *interp.Interp, start, limit, n int, body func(i int)) (int, string) {
+	guard := NewGuard()
+	executed := 0
+	_ = guard.With(in, func() error {
+		for i := start; i < n; i++ {
+			if i >= limit && guard.Violation() == "" {
+				break
+			}
+			body(i)
+			executed++
+		}
+		return nil
+	})
+	return executed, guard.Violation()
+}
+
+// foldRemainder left-folds elems[base:] into acc on the main
+// interpreter — the reduce fallback (oc non-nil: guarded, merging any
+// late violation into the outcome) and the Verify shadow (oc nil:
+// plain, the kernel is already proven clean).
+func foldRemainder(in *interp.Interp, fn value.Value, acc value.Value, elems []value.Value, base int, oc *Outcome) value.Value {
+	if oc == nil {
+		for i := base; i < len(elems); i++ {
+			acc = call(in, fn, acc, elems[i], value.Int(i))
+		}
+		return acc
+	}
+	_, violation := profileUnderGuard(in, base, len(elems), len(elems), func(i int) {
+		acc = call(in, fn, acc, elems[i], value.Int(i))
+	})
+	noteFallbackViolation(oc, violation)
+	return acc
+}
+
+// sequentialRemainder re-executes [base, n) on the main interpreter —
+// the abort path, preserving exact sequential semantics (side effects
+// and exception order included). It runs under a fresh guard so the
+// §5.1 purity signal does not regress just because the plan already
+// aborted for another reason: a write first manifesting beyond the
+// profile slice still flips Pure and is named in the report, exactly
+// as the pre-autopar whole-operation guard did.
+func sequentialRemainder(in *interp.Interp, fn value.Value, elems []value.Value, base int, out []value.Value, coerce func(value.Value) value.Value, oc *Outcome) {
+	_, violation := profileUnderGuard(in, base, len(elems), len(elems), func(i int) {
+		out[i] = coerce(call(in, fn, elems[i], value.Int(i)))
+	})
+	noteFallbackViolation(oc, violation)
+}
+
+// noteFallbackViolation merges a violation observed during a guarded
+// fallback into the outcome (deduplicated: an impure worker fault has
+// already named the same write).
+func noteFallbackViolation(oc *Outcome, violation string) {
+	if violation == "" {
+		return
+	}
+	oc.Pure = false
+	if !strings.Contains(oc.AbortReason, violation) {
+		oc.AbortReason += "; also: " + violation
+	}
+}
+
+// verifyRemainder shadow-runs [base, n) sequentially and compares. It
+// returns the first divergent index (-1 when bit-identical), overwriting
+// out with the sequential values on divergence so the caller always
+// returns sequential semantics.
+func verifyRemainder(in *interp.Interp, fn value.Value, elems []value.Value, base int, out []value.Value, coerce func(value.Value) value.Value) int {
+	diverged := -1
+	for i := base; i < len(elems); i++ {
+		shadow := coerce(call(in, fn, elems[i], value.Int(i)))
+		if diverged < 0 && !value.SameValue(shadow, out[i]) {
+			diverged = i
+		}
+		if diverged >= 0 {
+			out[i] = shadow
+		}
+	}
+	return diverged
+}
+
+// ReduceSpec folds elems with fn(acc, elem, i) speculatively. The
+// sequential semantics seed acc with init (when hasInit) or elems[0];
+// the parallel plan folds per-worker chunks with the elemental as the
+// combiner and merges partials in chunk order, which equals the
+// sequential fold exactly when the elemental is associative — Verify
+// catches the rest (the reduction-order caveat of §4.1).
+func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init value.Value, hasInit bool, opts Options) (value.Value, Outcome) {
+	n := len(elems)
+	oc := Outcome{Op: "reducePar", Elements: n, Workers: 1, Pure: true}
+
+	acc := init
+	start := 0
+	if !hasInit {
+		if n == 0 {
+			return value.Undefined(), oc
+		}
+		acc = elems[0]
+		start = 1
+	}
+	if n == start {
+		return acc, oc
+	}
+
+	base := start + opts.profileCount(n-start)
+	wantSpec := opts.Workers >= 2 && n-base >= opts.minDispatch()
+
+	limit := n
+	if wantSpec {
+		limit = base
+	}
+	executed, violation := profileUnderGuard(in, start, limit, n, func(i int) {
+		acc = call(in, fn, acc, elems[i], value.Int(i))
+	})
+	oc.Profiled = executed
+	if violation != "" {
+		oc.Pure = false
+		oc.AbortReason = "aborted parallel plan: " + violation
+		return acc, oc
+	}
+	if !wantSpec {
+		return acc, oc
+	}
+
+	pl, abort := buildPlan("reducePar", in, fn, elems, base)
+	if abort != "" {
+		oc.AbortReason = "aborted parallel plan: " + abort
+		return foldRemainder(in, fn, acc, elems, base, &oc), oc
+	}
+
+	partials, starts, workers, fault := pl.reduceDispatch(opts.Workers)
+	if fault != nil {
+		oc.Pure = !fault.impure && oc.Pure
+		oc.AbortReason = "aborted parallel plan: " + fault.reason
+		return foldRemainder(in, fn, acc, elems, base, &oc), oc
+	}
+	merged := acc
+	for wi, part := range partials {
+		merged = call(in, fn, merged, part, value.Int(starts[wi]))
+	}
+	oc.Parallel = workers >= 2
+	oc.Workers = workers
+	oc.Dispatched = n - base
+
+	if opts.Verify {
+		shadow := foldRemainder(in, fn, acc, elems, base, nil)
+		if !value.SameValue(shadow, merged) {
+			oc.Misspeculated = true
+			oc.Parallel = false
+			oc.Workers = 1
+			oc.Dispatched = 0
+			oc.AbortReason = "misspeculation: chunked reduction diverged from sequential fold (non-associative combiner)"
+			return shadow, oc
+		}
+	}
+	return merged, oc
+}

@@ -1,0 +1,328 @@
+package autopar
+
+// Closure-capture serialization: a speculative plan ships the elemental
+// function to share-nothing worker interpreters as *source* (re-printed
+// from its AST), so everything the function closes over must either be
+// re-materialized in the worker or the plan must abort. The rules mirror
+// River Trail's kernel restrictions:
+//
+//   - ambient globals (Math, parseInt, ...) exist in every interpreter
+//     and are not captured;
+//   - captured primitives are installed per worker by value;
+//   - captured flat arrays of primitives are installed per worker as
+//     copies (read-only inputs; a kernel write to one is caught by the
+//     worker-side guard);
+//   - captured interpreted helper functions are re-printed recursively,
+//     with their own captures resolved the same way;
+//   - anything else (external objects, native closures, nested arrays)
+//     aborts the plan with a §5.3-style reason.
+//
+// The free-name analysis over-approximates binding in one place: a
+// `catch (e)` name is scoped to its catch block, and a use of the same
+// name elsewhere in the function would be missed as a capture. The
+// failure mode is safe — the worker throws ReferenceError, the plan
+// aborts, and execution falls back to the sequential path.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/interp"
+	"repro/internal/js/printer"
+	"repro/internal/js/value"
+)
+
+// ambient lists the globals every fresh interpreter installs; workers
+// have their own, so the plan never captures them — provided the main
+// interpreter's binding is still pristine. A rebound or shadowed
+// ambient (a user-defined Math, a closure-local Date) would make
+// workers resolve the builtin while the sequential path resolves the
+// user's value, so resolve() aborts the plan in that case instead.
+var ambient = map[string]bool{
+	"Math": true, "console": true, "performance": true, "Date": true,
+	"parseInt": true, "parseFloat": true, "isNaN": true, "isFinite": true,
+	"NaN": true, "Infinity": true, "undefined": true,
+	"Array": true, "Object": true, "String": true, "Number": true,
+	"Boolean": true, "Error": true,
+}
+
+// capturedVal is one primitive (or flat primitive array) binding to
+// install per worker.
+type capturedVal struct {
+	name  string
+	v     value.Value
+	arr   []value.Value
+	isArr bool
+}
+
+// capturePlan is the serialized closure environment of an elemental
+// function.
+type capturePlan struct {
+	in       *interp.Interp
+	funcSrcs []string      // `var f = function (...) {...};` definitions
+	vals     []capturedVal // primitives and flat arrays, per-worker copies
+	seen     map[string]*interp.Binding
+}
+
+const maxCaptureDepth = 8
+
+// reserved names the generated worker program defines for itself; a
+// kernel capturing one would be overwritten by (or overwrite) the
+// engine's own globals inside the worker.
+var reserved = map[string]bool{
+	"kernel": true, "__elemental": true, "__input": true,
+	"__base": true, "__chunkReduce": true,
+}
+
+// newCapturePlan resolves fn's transitive captures against the main
+// interpreter in. A non-empty abort string means the function cannot be
+// serialized and the plan must fall back to sequential execution.
+func newCapturePlan(in *interp.Interp, fn *value.Object) (*capturePlan, string) {
+	p := &capturePlan{in: in, seen: make(map[string]*interp.Binding)}
+	if abort := p.resolve(fn, 0); abort != "" {
+		return nil, abort
+	}
+	return p, ""
+}
+
+func (p *capturePlan) resolve(fn *value.Object, depth int) string {
+	if depth > maxCaptureDepth {
+		return "capture chain deeper than " + fmt.Sprint(maxCaptureDepth) + " functions"
+	}
+	if fn.Fn == nil {
+		return "elemental is not a function"
+	}
+	if fn.Fn.Native != nil || fn.Fn.Decl == nil {
+		return "elemental function " + displayName(fn) + " is native; cannot serialize for workers"
+	}
+	if fn.NumProps() > 0 {
+		// Re-printing the source drops expando properties (f.cache = ...),
+		// which the function body may read.
+		return "function " + displayName(fn) + " carries properties; cannot serialize for workers"
+	}
+	lit := fn.Fn.Decl.(*ast.FuncLit)
+	if reason := usesNondeterminism(lit); reason != "" {
+		return displayName(fn) + " " + reason
+	}
+	env, _ := fn.Fn.Env.(*interp.Scope)
+	for _, name := range freeNames(lit) {
+		if reserved[name] || strings.HasPrefix(name, "__") {
+			return "captures reserved name " + name + "; it collides with the worker program's own globals"
+		}
+		if env == nil {
+			continue
+		}
+		b := env.Lookup(name)
+		if ambient[name] {
+			// Safe to skip only while the name still means the builtin:
+			// the binding the kernel sees must be the untouched global.
+			if b == p.in.Globals.Lookup(name) && p.in.GlobalIsPristine(name) {
+				continue
+			}
+			return "ambient global " + name + " is shadowed or rebound; workers would resolve the builtin"
+		}
+		if b == nil {
+			// Unbound here means unbound in the worker too: the same
+			// ReferenceError surfaces either way.
+			continue
+		}
+		if prev, ok := p.seen[name]; ok {
+			if prev != b {
+				return "capture name " + name + " is ambiguous across closure scopes"
+			}
+			continue
+		}
+		p.seen[name] = b
+		if abort := p.captureBinding(name, b.V, depth); abort != "" {
+			return abort
+		}
+	}
+	return ""
+}
+
+// captureBinding classifies one captured value.
+func (p *capturePlan) captureBinding(name string, v value.Value, depth int) string {
+	if !v.IsObject() {
+		p.vals = append(p.vals, capturedVal{name: name, v: v})
+		return ""
+	}
+	o := v.Object()
+	if o.Fn != nil {
+		if o.Fn.Native != nil || o.Fn.Decl == nil {
+			return "captures native function " + name
+		}
+		lit := o.Fn.Decl.(*ast.FuncLit)
+		p.funcSrcs = append(p.funcSrcs,
+			"var "+name+" = "+printer.PrintExpr(lit)+";")
+		return p.resolve(o, depth+1)
+	}
+	if o.IsArray() && o.NumProps() == 0 {
+		arr := make([]value.Value, len(o.Elems))
+		for i, e := range o.Elems {
+			if e.IsObject() {
+				return fmt.Sprintf("captures array %s with non-primitive element %d", name, i)
+			}
+			arr[i] = e
+		}
+		p.vals = append(p.vals, capturedVal{name: name, arr: arr, isArr: true})
+		return ""
+	}
+	return "captures external object " + name + " <" + o.Class + ">"
+}
+
+// prelude returns the helper-function definitions to prepend to the
+// worker kernel source.
+func (p *capturePlan) prelude() string {
+	return strings.Join(p.funcSrcs, "\n")
+}
+
+// install writes the captured primitive bindings into a worker
+// interpreter. Primitives are immutable values; arrays are per-worker
+// copies, so no state is shared between interpreters.
+func (p *capturePlan) install(in *interp.Interp) {
+	for _, cv := range p.vals {
+		if cv.isArr {
+			elems := append([]value.Value(nil), cv.arr...)
+			in.SetGlobal(cv.name, value.ObjectVal(in.NewArray(elems...)))
+			continue
+		}
+		in.SetGlobal(cv.name, cv.v)
+	}
+}
+
+// usesNondeterminism scans a function body for calls whose result
+// depends on *which interpreter* runs them — Math.random (per-worker
+// RNG streams diverge from the main interpreter's) and the virtual
+// clock (Date / performance.now advance independently per worker). A
+// kernel using any of them would silently return different values in
+// parallel, so the plan aborts instead. The check is conservative: a
+// locally shadowed `Math` still trips it, which only costs the safe
+// sequential fallback.
+func usesNondeterminism(fn *ast.FuncLit) string {
+	reason := ""
+	// mathBase collects `Math` identifiers consumed directly as a
+	// member/index base with a proven-deterministic member; a Math
+	// identifier in any other position (var m = Math, Math passed as an
+	// argument, ...) aliases the object and could reach .random later.
+	mathBase := map[*ast.Ident]bool{}
+	flag := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.MemberExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == "Math" {
+				mathBase[id] = true
+				if x.Name == "random" {
+					flag("calls Math.random; worker RNG streams diverge from sequential execution")
+				}
+			}
+		case *ast.IndexExpr:
+			// Computed access on Math: Math["random"] is the member in
+			// disguise; any non-literal index cannot be proven
+			// deterministic, so abort conservatively.
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == "Math" {
+				mathBase[id] = true
+				if lit, ok := x.Index.(*ast.StringLit); !ok || lit.Value == "random" {
+					flag("accesses Math by computed key; Math.random cannot be ruled out")
+				}
+			}
+		case *ast.Ident:
+			if x.Name == "Date" || x.Name == "performance" {
+				flag("reads the virtual clock (" + x.Name + "); workers tick independently")
+			}
+			if x.Name == "console" {
+				flag("writes to the console; output from worker interpreters would be lost")
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		return reason
+	}
+	// Second pass: a bare Math reference that was not a safe member base.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "Math" && !mathBase[id] {
+			flag("aliases Math; Math.random cannot be ruled out")
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+func displayName(fn *value.Object) string {
+	if fn.Fn != nil && fn.Fn.Name != "" {
+		return fn.Fn.Name
+	}
+	return "<anonymous>"
+}
+
+// freeNames returns the identifiers fn references but does not bind,
+// sorted for deterministic plans.
+func freeNames(fn *ast.FuncLit) []string {
+	free := make(map[string]bool)
+	collectFree(fn, nil, free)
+	out := make([]string, 0, len(free))
+	for n := range free {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectFree walks fn's body with the enclosing bound-name set, adding
+// unbound identifier references to free.
+func collectFree(fn *ast.FuncLit, outer map[string]bool, free map[string]bool) {
+	bound := make(map[string]bool, len(outer)+len(fn.Params)+len(fn.VarNames)+2)
+	for n := range outer {
+		bound[n] = true
+	}
+	for _, n := range fn.Params {
+		bound[n] = true
+	}
+	for _, n := range fn.VarNames {
+		bound[n] = true
+	}
+	if fn.Name != "" {
+		bound[fn.Name] = true
+	}
+	bound["arguments"] = true
+	walkFree(fn.Body, bound, free)
+}
+
+// walkFree scans one statement subtree. Nested function literals recurse
+// with an extended bound set; catch clauses bind their exception name
+// for the clause body only.
+func walkFree(root ast.Node, bound map[string]bool, free map[string]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if !bound[x.Name] {
+				free[x.Name] = true
+			}
+		case *ast.FuncLit:
+			collectFree(x, bound, free)
+			return false
+		case *ast.TryStmt:
+			walkFree(x.Body, bound, free)
+			if x.Catch != nil {
+				cb := make(map[string]bool, len(bound)+1)
+				for n := range bound {
+					cb[n] = true
+				}
+				cb[x.CatchName] = true
+				walkFree(x.Catch, cb, free)
+			}
+			if x.Finally != nil {
+				walkFree(x.Finally, bound, free)
+			}
+			return false
+		}
+		return true
+	})
+}

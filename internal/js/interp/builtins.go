@@ -13,7 +13,24 @@ import (
 // paper's use of the HR-time API in §3.1), constructors, and the usual
 // top-level conversion functions.
 func (in *Interp) installGlobals() {
-	g := func(name string, v value.Value) { in.Globals.declare(name, v) }
+	// Pristine snapshots must be taken eagerly, at install time: a lazy
+	// snapshot on first use would bake any earlier user mutation into
+	// the baseline and defeat GlobalIsPristine.
+	in.pristine = make(map[string]value.Value, 24)
+	in.pristineProps = make(map[string]map[string]value.Value, 8)
+	g := func(name string, v value.Value) {
+		in.Globals.declare(name, v)
+		in.pristine[name] = v
+		if v.IsObject() {
+			o := v.Object()
+			snap := make(map[string]value.Value, o.NumProps())
+			for _, k := range o.OwnKeys() {
+				pv, _ := o.GetOwn(k)
+				snap[k] = pv
+			}
+			in.pristineProps[name] = snap
+		}
+	}
 	native := func(name string, fn value.NativeFn) value.Value {
 		return value.ObjectVal(value.NewNative(name, fn))
 	}

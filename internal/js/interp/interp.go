@@ -76,6 +76,11 @@ func NewScope(parent *Scope) *Scope {
 	return &Scope{vars: make(map[string]*Binding, 8), parent: parent}
 }
 
+// Lookup resolves name through the scope chain, returning nil when the
+// name is unbound. Host-side analyzers (internal/autopar's closure
+// capture) use it to read the environment of an interpreted function.
+func (s *Scope) Lookup(name string) *Binding { return s.lookup(name) }
+
 func (s *Scope) lookup(name string) *Binding {
 	for sc := s; sc != nil; sc = sc.parent {
 		if b, ok := sc.vars[name]; ok {
@@ -140,6 +145,13 @@ type Interp struct {
 	console []string
 	// consoleCap bounds retained console output.
 	consoleCap int
+
+	// pristine records the standard globals as installed (and, for
+	// object globals, a shallow snapshot of their own properties), so
+	// analyzers (internal/autopar) can detect user rebinding or
+	// mutation of e.g. Math.
+	pristine      map[string]value.Value
+	pristineProps map[string]map[string]value.Value
 
 	// hostOpListener observes substrate operations (DOM mutations, canvas
 	// blits) so analyzers can attribute them to open loops.
@@ -475,6 +487,50 @@ func (in *Interp) invoke(fnv value.Value, this value.Value, args []value.Value) 
 		return c.val
 	}
 	return value.Undefined()
+}
+
+// GlobalIsPristine reports whether a standard global still holds the
+// exact value installGlobals installed — same binding value (object
+// identity; NaN compares equal to itself) and, for object globals, the
+// same own properties as at install time. A property write on a builtin
+// (Math.K = 3, console.log = f) makes it non-pristine: another
+// interpreter's copy of the builtin would disagree. False for names
+// that were never standard globals.
+func (in *Interp) GlobalIsPristine(name string) bool {
+	v0, ok := in.pristine[name]
+	if !ok {
+		return false
+	}
+	b := in.Globals.lookup(name)
+	if b == nil {
+		return false
+	}
+	if !value.SameValue(b.V, v0) {
+		return false
+	}
+	if !v0.IsObject() {
+		return true
+	}
+	// Same object: its own properties must match the install snapshot
+	// (shallow — every builtin's members are natives or primitives).
+	snap := in.pristineProps[name]
+	o := v0.Object()
+	if o.NumProps() != len(snap) || len(o.Elems) != 0 {
+		return false
+	}
+	for k, pv := range snap {
+		cur, ok := o.GetOwn(k)
+		if !ok || !value.StrictEquals(cur, pv) {
+			return false
+		}
+		// Members install bare (natives and primitives); an expando on
+		// one (Math.floor.k = 1) mutates shared state another
+		// interpreter's copy would not have.
+		if cur.IsObject() && (cur.Object().NumProps() > 0 || len(cur.Object().Elems) > 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Global reads a global binding (undefined if missing).

@@ -274,6 +274,21 @@ func StrictEquals(a, b Value) bool {
 	}
 }
 
+// SameValue implements the ES SameValue comparison: like StrictEquals
+// except NaN equals NaN and +0 does not equal -0 — the comparison
+// analyzers need when "the same bits" is the question (pristine-global
+// detection, misspeculation checks).
+func SameValue(a, b Value) bool {
+	if a.kind == KindNumber && b.kind == KindNumber {
+		x, y := a.num, b.num
+		if x == y {
+			return math.Signbit(x) == math.Signbit(y)
+		}
+		return x != x && y != y
+	}
+	return StrictEquals(a, b)
+}
+
 // LooseEquals implements == for the subset.
 func LooseEquals(a, b Value) bool {
 	if a.kind == b.kind {

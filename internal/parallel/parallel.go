@@ -22,6 +22,11 @@ import (
 // Kernel is a data-parallel loop body: JavaScript source that defines
 // `function kernel(i) { ... return v; }` plus optional setup installing
 // read-only inputs as globals.
+//
+// The source is parsed exactly once per Kernel; the resulting AST is
+// read-only (the interpreter never mutates syntax nodes) and is shared by
+// every worker interpreter, so spinning up a worker costs one interpreter
+// allocation plus one program load, not a re-parse.
 type Kernel struct {
 	// Source defines kernel(i) and any helpers/constants it needs.
 	Source string
@@ -31,6 +36,23 @@ type Kernel struct {
 	Setup func(in *interp.Interp) error
 	// Seed for each worker's deterministic Math.random.
 	Seed uint64
+
+	parseOnce sync.Once
+	prog      *ast.Program
+	parseErr  error
+}
+
+// program parses Source once and caches the shared read-only AST.
+func (k *Kernel) program() (*ast.Program, error) {
+	k.parseOnce.Do(func() {
+		prog, err := parser.Parse(k.Source)
+		if err != nil {
+			k.parseErr = fmt.Errorf("parallel: parse kernel: %w", err)
+			return
+		}
+		k.prog = prog
+	})
+	return k.prog, k.parseErr
 }
 
 // Result is the outcome of a map execution.
@@ -39,16 +61,20 @@ type Result struct {
 	Workers int
 }
 
-type workerState struct {
-	in   *interp.Interp
-	prog *ast.Program
-	fn   value.Value
+// Worker is one share-nothing kernel instance: a private interpreter with
+// the kernel program loaded. Callers that need richer scheduling than
+// MapParallel (e.g. internal/autopar's speculative executor, which installs
+// a purity guard per worker) drive Workers directly.
+type Worker struct {
+	in *interp.Interp
+	fn value.Value
 }
 
-func (k *Kernel) newWorker() (*workerState, error) {
-	prog, err := parser.Parse(k.Source)
+// NewWorker builds a fresh share-nothing worker for the kernel.
+func (k *Kernel) NewWorker() (*Worker, error) {
+	prog, err := k.program()
 	if err != nil {
-		return nil, fmt.Errorf("parallel: parse kernel: %w", err)
+		return nil, err
 	}
 	in := interp.New(interp.WithSeed(k.Seed))
 	if k.Setup != nil {
@@ -63,18 +89,26 @@ func (k *Kernel) newWorker() (*workerState, error) {
 	if !fn.IsCallable() {
 		return nil, fmt.Errorf("parallel: kernel source does not define kernel(i)")
 	}
-	return &workerState{in: in, prog: prog, fn: fn}, nil
+	return &Worker{in: in, fn: fn}, nil
+}
+
+// Interp exposes the worker's private interpreter (for per-worker hooks).
+func (w *Worker) Interp() *interp.Interp { return w.in }
+
+// CallKernel invokes kernel(i) on the worker.
+func (w *Worker) CallKernel(i int) (value.Value, error) {
+	return w.in.SafeCall(w.fn, value.Undefined(), []value.Value{value.Int(i)})
 }
 
 // MapSequential runs kernel(i) for i in [0, n) on one interpreter.
 func (k *Kernel) MapSequential(n int) (*Result, error) {
-	w, err := k.newWorker()
+	w, err := k.NewWorker()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]value.Value, n)
 	for i := 0; i < n; i++ {
-		v, err := w.in.SafeCall(w.fn, value.Undefined(), []value.Value{value.Int(i)})
+		v, err := w.CallKernel(i)
 		if err != nil {
 			return nil, fmt.Errorf("parallel: kernel(%d): %w", i, err)
 		}
@@ -98,15 +132,15 @@ func (k *Kernel) MapParallel(n, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w, err := k.newWorker()
+			w, err := k.NewWorker()
 			if err != nil {
 				errs[wi] = err
 				return
 			}
 			// contiguous chunking: worker wi handles [lo, hi)
-			lo, hi := chunk(n, workers, wi)
+			lo, hi := Chunk(n, workers, wi)
 			for i := lo; i < hi; i++ {
-				v, err := w.in.SafeCall(w.fn, value.Undefined(), []value.Value{value.Int(i)})
+				v, err := w.CallKernel(i)
 				if err != nil {
 					errs[wi] = fmt.Errorf("parallel: kernel(%d): %w", i, err)
 					return

@@ -42,8 +42,8 @@ type FilterResult struct {
 	Workers int
 }
 
-// callable resolves a function the kernel source must define.
-func (w *workerState) callable(name string) (value.Value, error) {
+// Callable resolves a function the kernel source must define.
+func (w *Worker) Callable(name string) (value.Value, error) {
 	fn := w.in.Global(name)
 	if !fn.IsCallable() {
 		return value.Undefined(), fmt.Errorf("parallel: kernel source does not define %s", name)
@@ -51,7 +51,8 @@ func (w *workerState) callable(name string) (value.Value, error) {
 	return fn, nil
 }
 
-func (w *workerState) call(fn value.Value, args ...value.Value) (value.Value, error) {
+// Call invokes a kernel-defined function on the worker's interpreter.
+func (w *Worker) Call(fn value.Value, args ...value.Value) (value.Value, error) {
 	return w.in.SafeCall(fn, value.Undefined(), args)
 }
 
@@ -69,8 +70,10 @@ func clampWorkers(n, workers int) int {
 	return workers
 }
 
-// chunk returns worker wi's contiguous index range [lo, hi).
-func chunk(n, workers, wi int) (lo, hi int) {
+// Chunk returns worker wi's contiguous index range [lo, hi) under the
+// package's chunked schedule: [0, n) splits into one contiguous run per
+// worker, balanced to within one element.
+func Chunk(n, workers, wi int) (lo, hi int) {
 	return wi * n / workers, (wi + 1) * n / workers
 }
 
@@ -89,11 +92,11 @@ func crossable(v value.Value, what string) error {
 // interpreter: combine(combine(kernel(0), kernel(1)), ...). An empty
 // range reduces to undefined.
 func (k *Kernel) ReduceSequential(n int) (value.Value, error) {
-	w, err := k.newWorker()
+	w, err := k.NewWorker()
 	if err != nil {
 		return value.Undefined(), err
 	}
-	combine, err := w.callable("combine")
+	combine, err := w.Callable("combine")
 	if err != nil {
 		return value.Undefined(), err
 	}
@@ -101,10 +104,10 @@ func (k *Kernel) ReduceSequential(n int) (value.Value, error) {
 }
 
 // reduceChunk folds [lo, hi) on one worker.
-func reduceChunk(w *workerState, combine value.Value, lo, hi int) (value.Value, error) {
+func reduceChunk(w *Worker, combine value.Value, lo, hi int) (value.Value, error) {
 	acc := value.Undefined()
 	for i := lo; i < hi; i++ {
-		v, err := w.call(w.fn, value.Int(i))
+		v, err := w.Call(w.fn, value.Int(i))
 		if err != nil {
 			return value.Undefined(), fmt.Errorf("parallel: kernel(%d): %w", i, err)
 		}
@@ -112,7 +115,7 @@ func reduceChunk(w *workerState, combine value.Value, lo, hi int) (value.Value, 
 			acc = v
 			continue
 		}
-		acc, err = w.call(combine, acc, v)
+		acc, err = w.Call(combine, acc, v)
 		if err != nil {
 			return value.Undefined(), fmt.Errorf("parallel: combine at %d: %w", i, err)
 		}
@@ -131,25 +134,25 @@ func (k *Kernel) ReduceParallel(n, workers int) (value.Value, error) {
 	}
 
 	partials := make([]value.Value, workers)
-	states := make([]*workerState, workers)
+	states := make([]*Worker, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w, err := k.newWorker()
+			w, err := k.NewWorker()
 			if err != nil {
 				errs[wi] = err
 				return
 			}
-			combine, err := w.callable("combine")
+			combine, err := w.Callable("combine")
 			if err != nil {
 				errs[wi] = err
 				return
 			}
 			states[wi] = w
-			lo, hi := chunk(n, workers, wi)
+			lo, hi := Chunk(n, workers, wi)
 			partials[wi], errs[wi] = reduceChunk(w, combine, lo, hi)
 		}(wi)
 	}
@@ -162,7 +165,7 @@ func (k *Kernel) ReduceParallel(n, workers int) (value.Value, error) {
 
 	// Fold chunk partials in order on worker 0's interpreter.
 	w := states[0]
-	combine, err := w.callable("combine")
+	combine, err := w.Callable("combine")
 	if err != nil {
 		return value.Undefined(), err
 	}
@@ -171,7 +174,7 @@ func (k *Kernel) ReduceParallel(n, workers int) (value.Value, error) {
 		if err := crossable(partials[wi], fmt.Sprintf("chunk %d partial", wi)); err != nil {
 			return value.Undefined(), err
 		}
-		acc, err = w.call(combine, acc, partials[wi])
+		acc, err = w.Call(combine, acc, partials[wi])
 		if err != nil {
 			return value.Undefined(), fmt.Errorf("parallel: combine partial %d: %w", wi, err)
 		}
@@ -184,11 +187,11 @@ func (k *Kernel) ReduceParallel(n, workers int) (value.Value, error) {
 // FilterSequential keeps kernel(i) results for which pred(x, i) is
 // truthy, on one interpreter.
 func (k *Kernel) FilterSequential(n int) (*FilterResult, error) {
-	w, err := k.newWorker()
+	w, err := k.NewWorker()
 	if err != nil {
 		return nil, err
 	}
-	pred, err := w.callable("pred")
+	pred, err := w.Callable("pred")
 	if err != nil {
 		return nil, err
 	}
@@ -197,13 +200,13 @@ func (k *Kernel) FilterSequential(n int) (*FilterResult, error) {
 }
 
 // filterChunk appends [lo, hi)'s kept elements to res.
-func filterChunk(w *workerState, pred value.Value, lo, hi int, res *FilterResult) error {
+func filterChunk(w *Worker, pred value.Value, lo, hi int, res *FilterResult) error {
 	for i := lo; i < hi; i++ {
-		v, err := w.call(w.fn, value.Int(i))
+		v, err := w.Call(w.fn, value.Int(i))
 		if err != nil {
 			return fmt.Errorf("parallel: kernel(%d): %w", i, err)
 		}
-		keep, err := w.call(pred, v, value.Int(i))
+		keep, err := w.Call(pred, v, value.Int(i))
 		if err != nil {
 			return fmt.Errorf("parallel: pred(%d): %w", i, err)
 		}
@@ -231,17 +234,17 @@ func (k *Kernel) FilterParallel(n, workers int) (*FilterResult, error) {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w, err := k.newWorker()
+			w, err := k.NewWorker()
 			if err != nil {
 				errs[wi] = err
 				return
 			}
-			pred, err := w.callable("pred")
+			pred, err := w.Callable("pred")
 			if err != nil {
 				errs[wi] = err
 				return
 			}
-			lo, hi := chunk(n, workers, wi)
+			lo, hi := Chunk(n, workers, wi)
 			locals[wi] = &FilterResult{}
 			errs[wi] = filterChunk(w, pred, lo, hi, locals[wi])
 		}(wi)
@@ -280,11 +283,11 @@ func EqualFilter(a, b *FilterResult) bool {
 // ScanSequential computes the inclusive prefix fold on one interpreter:
 // out[0] = kernel(0), out[i] = combine(out[i-1], kernel(i)).
 func (k *Kernel) ScanSequential(n int) (*Result, error) {
-	w, err := k.newWorker()
+	w, err := k.NewWorker()
 	if err != nil {
 		return nil, err
 	}
-	combine, err := w.callable("combine")
+	combine, err := w.Callable("combine")
 	if err != nil {
 		return nil, err
 	}
@@ -297,9 +300,9 @@ func (k *Kernel) ScanSequential(n int) (*Result, error) {
 
 // scanChunkLocal fills out[lo:hi] with the inclusive scan of the chunk's
 // own kernel values (no cross-chunk offset).
-func scanChunkLocal(w *workerState, combine value.Value, lo, hi int, out []value.Value) error {
+func scanChunkLocal(w *Worker, combine value.Value, lo, hi int, out []value.Value) error {
 	for i := lo; i < hi; i++ {
-		v, err := w.call(w.fn, value.Int(i))
+		v, err := w.Call(w.fn, value.Int(i))
 		if err != nil {
 			return fmt.Errorf("parallel: kernel(%d): %w", i, err)
 		}
@@ -307,7 +310,7 @@ func scanChunkLocal(w *workerState, combine value.Value, lo, hi int, out []value
 			out[i] = v
 			continue
 		}
-		out[i], err = w.call(combine, out[i-1], v)
+		out[i], err = w.Call(combine, out[i-1], v)
 		if err != nil {
 			return fmt.Errorf("parallel: combine at %d: %w", i, err)
 		}
@@ -327,7 +330,7 @@ func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 	}
 
 	out := make([]value.Value, n)
-	states := make([]*workerState, workers)
+	states := make([]*Worker, workers)
 	combines := make([]value.Value, workers)
 	errs := make([]error, workers)
 
@@ -337,18 +340,18 @@ func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w, err := k.newWorker()
+			w, err := k.NewWorker()
 			if err != nil {
 				errs[wi] = err
 				return
 			}
-			combine, err := w.callable("combine")
+			combine, err := w.Callable("combine")
 			if err != nil {
 				errs[wi] = err
 				return
 			}
 			states[wi], combines[wi] = w, combine
-			lo, hi := chunk(n, workers, wi)
+			lo, hi := Chunk(n, workers, wi)
 			errs[wi] = scanChunkLocal(w, combine, lo, hi, out)
 		}(wi)
 	}
@@ -365,7 +368,7 @@ func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 	w0 := states[0]
 	acc := value.Undefined()
 	for wi := 1; wi < workers; wi++ {
-		_, prevHi := chunk(n, workers, wi-1)
+		_, prevHi := Chunk(n, workers, wi-1)
 		total := out[prevHi-1]
 		if err := crossable(total, fmt.Sprintf("chunk %d total", wi-1)); err != nil {
 			return nil, err
@@ -374,7 +377,7 @@ func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 			acc = total
 		} else {
 			var err error
-			acc, err = w0.call(combines[0], acc, total)
+			acc, err = w0.Call(combines[0], acc, total)
 			if err != nil {
 				return nil, fmt.Errorf("parallel: combine offsets: %w", err)
 			}
@@ -391,9 +394,9 @@ func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 		go func(wi int) {
 			defer wg.Done()
 			w, combine := states[wi], combines[wi]
-			lo, hi := chunk(n, workers, wi)
+			lo, hi := Chunk(n, workers, wi)
 			for i := lo; i < hi; i++ {
-				v, err := w.call(combine, offsets[wi], out[i])
+				v, err := w.Call(combine, offsets[wi], out[i])
 				if err != nil {
 					errs[wi] = fmt.Errorf("parallel: combine offset at %d: %w", i, err)
 					return

@@ -112,6 +112,43 @@ func Amdahl(results []*study.AppResult) string {
 	return sb.String()
 }
 
+// Exec renders the ModeExec table: measured speculative-execution
+// speedup per convertible hot loop, next to the ModeDeep Amdahl bound
+// (§5.1/§5.3 — the analyze → execute loop, closed).
+func Exec(rows []study.ExecRow, counts []int) string {
+	var sb strings.Builder
+	sb.WriteString("ModeExec. Speculative ParallelArray execution - measured vs. predicted\n")
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "App\tHot loop\tn\t")
+	for _, w := range counts {
+		fmt.Fprintf(tw, "%dw ms\t", w)
+	}
+	fmt.Fprint(tw, "best\tAmdahl16\tparallel\tidentical\tabort\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t", r.App, r.Loop, r.N)
+		for _, w := range counts {
+			if ms, ok := r.WallMS[w]; ok {
+				fmt.Fprintf(tw, "%.1f\t", ms)
+			} else {
+				fmt.Fprint(tw, "-\t")
+			}
+		}
+		best, at := r.BestSpeedup()
+		fmt.Fprintf(tw, "%.2fx@%d\t%.2fx\t%s\t%s\t%s\t\n",
+			best, at, r.Amdahl16, yesNo(r.Parallel), yesNo(r.Identical), dash(r.AbortReason))
+	}
+	tw.Flush()
+	fmt.Fprintf(&sb, "\n%s\n", study.ExecSummary(rows))
+	return sb.String()
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 // bar renders a proportional ASCII bar.
 func bar(pct float64, width int) string {
 	n := int(pct / 100 * float64(width))

@@ -5,18 +5,22 @@
 // when it fails to run a loop in parallel, but also have ways to report to
 // the developer the reason for aborting."
 //
-// Install adds a ParallelArray(arr) constructor to an interpreter. Its
-// mapPar/filterPar/reducePar methods run the elemental function under a
-// purity guard built on JS-CERES's instrumentation: writes to state that
-// predates the call (captured variables, external objects) are detected
-// at runtime, the parallel plan is aborted, execution falls back to the
-// sequential semantics, and the reason — which variable or property the
-// kernel mutated — is reported through RiverTrailReport().
+// Install adds a ParallelArray(arr) constructor to an interpreter. A
+// ParallelArray copies its backing elements at construction (value
+// semantics, matching River Trail); its mapPar/filterPar/reducePar
+// methods delegate to internal/autopar's speculate-then-verify engine:
+// a leading slice runs under the purity guard on the main interpreter,
+// and when the guard clears it the remainder is dispatched across
+// share-nothing worker interpreters (SetWorkers enables this; the
+// default of 1 keeps every operation sequential-but-guarded). Guard
+// violations, serialization limits, worker faults and misspeculations
+// all fall back to sequential semantics, and the reason — which variable
+// or property the kernel mutated, what could not cross workers — is
+// reported through RiverTrailReport().
 package rivertrail
 
 import (
-	"fmt"
-
+	"repro/internal/autopar"
 	"repro/internal/js/interp"
 	"repro/internal/js/value"
 )
@@ -25,11 +29,27 @@ import (
 type Report struct {
 	// Op is "mapPar", "filterPar" or "reducePar".
 	Op string
-	// Parallel is true when the elemental function proved pure and the
-	// operation was eligible for parallel execution.
+	// Pure is true when the purity guard observed no violation (the
+	// §5.1 eligibility signal; an operation can be pure yet still run
+	// sequentially — workers disabled, remainder too small, or a
+	// serialization abort).
+	Pure bool
+	// Parallel is true when the operation actually executed across
+	// >= 2 worker goroutines and the merge survived every check.
 	Parallel bool
+	// Workers is the number of goroutines that executed the operation
+	// (1 = sequential).
+	Workers int
+	// Profiled counts elements run under the guard on the main
+	// interpreter; Dispatched counts elements executed on the worker
+	// pool (0 when sequential).
+	Profiled, Dispatched int
+	// Misspeculated is true when the Verify shadow run found a
+	// divergence and the sequential values won.
+	Misspeculated bool
 	// AbortReason explains a sequential fallback ("writes captured
-	// variable sum", "mutates external object <Object>.x", ...).
+	// variable sum", "mutates external object <Object>.x", worker-side
+	// speculation aborts, misspeculation, ...).
 	AbortReason string
 	// Elements processed.
 	Elements int
@@ -38,57 +58,28 @@ type Report struct {
 // State carries the API state for one interpreter.
 type State struct {
 	in   *interp.Interp
+	opts autopar.Options
 	last Report
 }
 
 // Last returns the most recent operation report.
 func (s *State) Last() Report { return s.last }
 
-// purityGuard watches writes during elemental-function execution. Any
-// write to a binding or object that existed before the operation started
-// is a purity violation (the result array under construction is exempt).
-type purityGuard struct {
-	interp.NopHooks
-	active   bool
-	epoch    map[any]bool // objects/bindings created during the operation
-	exempt   map[any]bool
-	violated string
-}
+// SetWorkers sets the speculation pool size; < 2 keeps every operation
+// sequential (still guarded and reported).
+func (s *State) SetWorkers(n int) { s.opts.Workers = n }
 
-func (g *purityGuard) VarDeclare(_ string, b *interp.Binding) {
-	if g.active {
-		g.epoch[b] = true
-	}
-}
+// SetOptions replaces the full speculation options (tests and ModeExec
+// use this for Verify runs and profile-slice tuning).
+func (s *State) SetOptions(o autopar.Options) { s.opts = o }
 
-func (g *purityGuard) VarWrite(name string, b *interp.Binding) {
-	if !g.active || g.violated != "" {
-		return
-	}
-	if !g.epoch[b] && !g.exempt[b] {
-		g.violated = "writes captured variable " + name
-	}
-}
-
-func (g *purityGuard) ObjectNew(o *value.Object) {
-	if g.active {
-		g.epoch[o] = true
-	}
-}
-
-func (g *purityGuard) PropWrite(o *value.Object, key string, _ *interp.Binding) {
-	if !g.active || g.violated != "" {
-		return
-	}
-	if !g.epoch[o] && !g.exempt[o] {
-		g.violated = "mutates external object <" + o.Class + ">." + key
-	}
-}
+// Options returns the current speculation options.
+func (s *State) Options() autopar.Options { return s.opts }
 
 // Install wires ParallelArray and RiverTrailReport into the interpreter
 // and returns the state handle.
 func Install(in *interp.Interp) *State {
-	st := &State{in: in}
+	st := &State{in: in, opts: autopar.Options{Workers: 1}}
 
 	in.SetGlobal("ParallelArray", value.ObjectVal(value.NewNative("ParallelArray",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
@@ -96,14 +87,19 @@ func Install(in *interp.Interp) *State {
 			if !src.IsObject() || !src.Object().IsArray() {
 				return value.Undefined(), value.ThrowTypeError("ParallelArray requires an array")
 			}
-			return st.wrap(src.Object()), nil
+			return st.wrap(src.Object().Elems), nil
 		})))
 
 	in.SetGlobal("RiverTrailReport", value.ObjectVal(value.NewNative("RiverTrailReport",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
 			o := in.NewObject()
 			o.Set("op", value.String(st.last.Op))
+			o.Set("pure", value.Bool(st.last.Pure))
 			o.Set("parallel", value.Bool(st.last.Parallel))
+			o.Set("workers", value.Int(st.last.Workers))
+			o.Set("profiled", value.Int(st.last.Profiled))
+			o.Set("dispatched", value.Int(st.last.Dispatched))
+			o.Set("misspeculated", value.Bool(st.last.Misspeculated))
 			o.Set("abortReason", value.String(st.last.AbortReason))
 			o.Set("elements", value.Int(st.last.Elements))
 			return value.ObjectVal(o), nil
@@ -111,148 +107,83 @@ func Install(in *interp.Interp) *State {
 	return st
 }
 
-// wrap builds the ParallelArray object over backing storage.
-func (st *State) wrap(backing *value.Object) value.Value {
+// report converts an engine outcome into the JS-visible report.
+func report(oc autopar.Outcome) Report {
+	return Report{
+		Op:            oc.Op,
+		Pure:          oc.Pure,
+		Parallel:      oc.Parallel,
+		Workers:       oc.Workers,
+		Profiled:      oc.Profiled,
+		Dispatched:    oc.Dispatched,
+		Misspeculated: oc.Misspeculated,
+		AbortReason:   oc.AbortReason,
+		Elements:      oc.Elements,
+	}
+}
+
+// wrap builds a ParallelArray object. The elements are copied at the
+// boundary: mutating the source array after construction cannot desync
+// length from get/mapPar (the PR-3 value-semantics fix).
+func (st *State) wrap(src []value.Value) value.Value {
+	return st.wrapOwned(append([]value.Value(nil), src...))
+}
+
+// wrapOwned wraps a slice the caller exclusively owns (operation
+// results), skipping the defensive copy.
+func (st *State) wrapOwned(elems []value.Value) value.Value {
 	pa := st.in.NewObject()
-	pa.Set("length", value.Int(len(backing.Elems)))
+	pa.Set("length", value.Int(len(elems)))
 
 	pa.Set("mapPar", value.ObjectVal(value.NewNative("mapPar",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
-			fn := argAt(args, 0)
-			out := value.NewArrayN(len(backing.Elems))
-			report, err := st.runGuarded("mapPar", backing, out, func(i int, elem value.Value) error {
-				r, err := c.CallFunction(fn, value.Undefined(), []value.Value{elem, value.Int(i)})
-				if err != nil {
-					return err
-				}
-				out.Elems[i] = r
-				return nil
-			})
-			if err != nil {
-				return value.Undefined(), err
-			}
-			st.last = report
-			return st.wrap(out), nil
+			out, oc := autopar.MapSpec(st.in, argAt(args, 0), elems, st.opts)
+			st.last = report(oc)
+			return st.wrapOwned(out), nil
 		})))
 
 	pa.Set("filterPar", value.ObjectVal(value.NewNative("filterPar",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
-			fn := argAt(args, 0)
-			keep := make([]bool, len(backing.Elems))
-			report, err := st.runGuarded("filterPar", backing, nil, func(i int, elem value.Value) error {
-				r, err := c.CallFunction(fn, value.Undefined(), []value.Value{elem, value.Int(i)})
-				if err != nil {
-					return err
-				}
-				keep[i] = r.ToBool()
-				return nil
-			})
-			if err != nil {
-				return value.Undefined(), err
-			}
-			var elems []value.Value
+			keep, oc := autopar.FilterSpec(st.in, argAt(args, 0), elems, st.opts)
+			var kept []value.Value
 			for i, k := range keep {
 				if k {
-					elems = append(elems, backing.Elems[i])
+					kept = append(kept, elems[i])
 				}
 			}
-			out := value.NewArray(elems...)
-			st.last = report
-			return st.wrap(out), nil
+			st.last = report(oc)
+			return st.wrapOwned(kept), nil
 		})))
 
 	pa.Set("reducePar", value.ObjectVal(value.NewNative("reducePar",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
-			fn := argAt(args, 0)
-			if len(backing.Elems) == 0 {
-				return argAt(args, 1), nil
+			hasInit := len(args) > 1
+			if len(elems) == 0 && !hasInit {
+				// Match Array.prototype.reduce: an empty reduction with no
+				// seed has no answer (the PR-3 empty-reduce fix).
+				return value.Undefined(), value.ThrowTypeError("Reduce of empty ParallelArray with no initial value")
 			}
-			acc := backing.Elems[0]
-			start := 1
-			if len(args) > 1 {
-				acc = args[1]
-				start = 0
-			}
-			// Reduction order is implementation-defined in River Trail;
-			// the guard still demands elemental purity.
-			report, err := st.runGuardedRange("reducePar", backing, start, func(i int, elem value.Value) error {
-				r, err := c.CallFunction(fn, value.Undefined(), []value.Value{acc, elem, value.Int(i)})
-				if err != nil {
-					return err
-				}
-				acc = r
-				return nil
-			})
-			if err != nil {
-				return value.Undefined(), err
-			}
-			st.last = report
+			acc, oc := autopar.ReduceSpec(st.in, argAt(args, 0), elems, argAt(args, 1), hasInit, st.opts)
+			st.last = report(oc)
 			return acc, nil
 		})))
 
 	pa.Set("get", value.ObjectVal(value.NewNative("get",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
-			i := int(argAt(args, 0).ToNumber())
-			if i < 0 || i >= len(backing.Elems) {
+			f := argAt(args, 0).ToNumber()
+			// int(NaN) is platform-dependent in Go; reject before converting.
+			if f != f || f < 0 || f >= float64(len(elems)) {
 				return value.Undefined(), nil
 			}
-			return backing.Elems[i], nil
+			return elems[int(f)], nil
 		})))
 
 	pa.Set("toArray", value.ObjectVal(value.NewNative("toArray",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
-			return value.ObjectVal(st.in.NewArray(append([]value.Value{}, backing.Elems...)...)), nil
+			return value.ObjectVal(st.in.NewArray(append([]value.Value{}, elems...)...)), nil
 		})))
 
 	return value.ObjectVal(pa)
-}
-
-func (st *State) runGuarded(op string, backing, out *value.Object, body func(int, value.Value) error) (Report, error) {
-	return st.runGuardedFrom(op, backing, out, 0, body)
-}
-
-func (st *State) runGuardedRange(op string, backing *value.Object, start int, body func(int, value.Value) error) (Report, error) {
-	return st.runGuardedFrom(op, backing, nil, start, body)
-}
-
-// runGuardedFrom executes the elemental function for every element with
-// the purity guard chained onto whatever hooks are already installed. On
-// the first violation the guard records the reason; execution continues
-// sequentially (the fallback), so results are always produced.
-func (st *State) runGuardedFrom(op string, backing, out *value.Object, start int, body func(int, value.Value) error) (Report, error) {
-	guard := &purityGuard{
-		epoch:  make(map[any]bool),
-		exempt: make(map[any]bool),
-	}
-	if out != nil {
-		guard.exempt[out] = true
-	}
-	prev := st.in.HooksInstalled()
-	if prev != nil {
-		st.in.SetHooks(interp.NewMultiHooks(prev, guard))
-	} else {
-		st.in.SetHooks(guard)
-	}
-	guard.active = true
-	defer func() {
-		guard.active = false
-		st.in.SetHooks(prev)
-	}()
-
-	for i := start; i < len(backing.Elems); i++ {
-		if err := body(i, backing.Elems[i]); err != nil {
-			return Report{}, err
-		}
-	}
-	rep := Report{
-		Op:       op,
-		Parallel: guard.violated == "",
-		Elements: len(backing.Elems) - start,
-	}
-	if guard.violated != "" {
-		rep.AbortReason = fmt.Sprintf("aborted parallel plan: %s", guard.violated)
-	}
-	return rep, nil
 }
 
 func argAt(args []value.Value, i int) value.Value {

@@ -1,0 +1,248 @@
+package study
+
+// ModeExec closes the paper's analyze → execute loop: where ModeDeep
+// *predicts* speedup (Amdahl bounds over nests the dependence analysis
+// clears), ModeExec *measures* it. Each ParallelArray-convertible hot
+// loop (workloads.ExecKernels) runs through the real rivertrail/autopar
+// speculative engine at a ladder of worker counts, the outputs are
+// checked byte-identical across counts, and the measured speedup is
+// reported next to the app's ModeDeep 16-core bound.
+//
+// Exec jobs deliberately run one at a time (unlike the light/deep jobs
+// the orchestrator interleaves): they measure wall clock, and sharing
+// the machine with sibling jobs would corrupt the numbers.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/autopar"
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/value"
+	"repro/internal/rivertrail"
+	"repro/internal/workloads"
+)
+
+// ExecWorkerCounts is the default measurement ladder.
+var ExecWorkerCounts = []int{1, 2, 4, 8}
+
+// ExecRow is one convertible hot loop measured both ways.
+type ExecRow struct {
+	App  string
+	Loop string
+	// N is the scaled element count executed.
+	N int
+	// WallMS maps worker count to wall-clock milliseconds.
+	WallMS map[int]float64
+	// Speedup maps worker count to sequential-time / parallel-time.
+	Speedup map[int]float64
+	// Parallel is true when the speculative engine actually dispatched
+	// at every count >= 2.
+	Parallel bool
+	// AbortReason is the first §5.3 reason observed when it did not.
+	AbortReason string
+	// Identical is true when outputs were byte-identical across all
+	// counts (the speculation safety contract).
+	Identical bool
+	// Amdahl16 is the app's ModeDeep 16-core bound, for side-by-side
+	// comparison with the measured numbers.
+	Amdahl16 float64
+}
+
+// BestSpeedup returns the highest measured speedup and its worker count.
+func (r ExecRow) BestSpeedup() (float64, int) {
+	best, at := 0.0, 1
+	for w, s := range r.Speedup {
+		if s > best || (s == best && w < at) {
+			best, at = s, w
+		}
+	}
+	return best, at
+}
+
+// RunExecAll measures every convertible kernel at each worker count
+// (nil = ExecWorkerCounts; a leading 1 is forced so speedups have a
+// sequential baseline) and attaches the ModeDeep Amdahl bounds. The
+// returned counts are the normalized ladder actually measured — report
+// renderers must use it rather than re-deriving the columns.
+func RunExecAll(seed uint64, counts []int) ([]ExecRow, []int, error) {
+	counts = normalizeCounts(counts)
+	amdahl := make(map[string]float64)
+	var rows []ExecRow
+	for _, ek := range workloads.ExecKernels() {
+		row, err := runExecKernel(ek, seed, counts)
+		if err != nil {
+			return rows, counts, fmt.Errorf("study: exec %s/%s: %w", ek.App, ek.Loop, err)
+		}
+		bound, err := amdahlForApp(ek.App, seed, amdahl)
+		if err != nil {
+			return rows, counts, fmt.Errorf("study: exec %s amdahl: %w", ek.App, err)
+		}
+		row.Amdahl16 = bound
+		rows = append(rows, row)
+	}
+	return rows, counts, nil
+}
+
+func normalizeCounts(counts []int) []int {
+	if len(counts) == 0 {
+		counts = ExecWorkerCounts
+	}
+	seen := map[int]bool{}
+	out := []int{1}
+	seen[1] = true
+	for _, c := range counts {
+		if c > 1 && !seen[c] {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runExecKernel measures one kernel across the count ladder.
+func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow, error) {
+	n := workloads.CurrentScale().N(ek.N)
+	row := ExecRow{
+		App: ek.App, Loop: ek.Loop, N: n,
+		WallMS:  make(map[int]float64, len(counts)),
+		Speedup: make(map[int]float64, len(counts)),
+	}
+	sigs := make(map[int]string, len(counts))
+	hasMulti, allParallel := false, true
+	for _, w := range counts {
+		sig, rep, ms, err := execOnce(ek, n, seed, autopar.Options{Workers: w})
+		if err != nil {
+			return row, err
+		}
+		row.WallMS[w] = ms
+		sigs[w] = sig
+		if w < 2 {
+			continue
+		}
+		hasMulti = true
+		// Report.Parallel means "actually dispatched across >= 2
+		// workers"; a pure kernel whose remainder fell below the
+		// dispatch threshold reports false here too.
+		if !rep.Parallel {
+			allParallel = false
+			if row.AbortReason == "" {
+				row.AbortReason = rep.AbortReason
+			}
+			if row.AbortReason == "" {
+				row.AbortReason = fmt.Sprintf("speculation did not engage at %d workers (n=%d below dispatch threshold)", w, n)
+			}
+		}
+	}
+	row.Parallel = hasMulti && allParallel
+	if !hasMulti && row.AbortReason == "" {
+		row.AbortReason = "only sequential counts measured"
+	}
+	row.Identical = true
+	for _, w := range counts {
+		if sigs[w] != sigs[1] {
+			row.Identical = false
+			row.Parallel = false
+			if row.AbortReason == "" {
+				row.AbortReason = fmt.Sprintf("output at %d workers diverged from sequential", w)
+			}
+		}
+	}
+	base := row.WallMS[1]
+	for _, w := range counts {
+		if row.WallMS[w] > 0 {
+			row.Speedup[w] = base / row.WallMS[w]
+		}
+	}
+	return row, nil
+}
+
+// execOnce runs one kernel once through the real ParallelArray API and
+// returns the output signature, the engine report, and wall-clock ms.
+// Only the mapPar itself is timed: prelude execution, ParallelArray
+// construction and the O(n) signature join are identical sequential
+// work at every worker count and would otherwise drag every speedup
+// toward 1.0.
+func execOnce(ek workloads.ExecKernel, n int, seed uint64, opts autopar.Options) (string, rivertrail.Report, float64, error) {
+	setupProg, err := parser.Parse(ek.Prelude + "\nvar __pa = ParallelArray(__rawInput);\n")
+	if err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	opProg, err := parser.Parse("var __out = __pa.mapPar(" + ek.Elemental + ");\n")
+	if err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	sigProg, err := parser.Parse(`var __sig = __out.toArray().join(",");` + "\n")
+	if err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	in := interp.New(interp.WithSeed(seed))
+	st := rivertrail.Install(in)
+	st.SetOptions(opts)
+	elems := make([]value.Value, n)
+	for i := range elems {
+		elems[i] = value.Number(ek.Input(i))
+	}
+	in.SetGlobal("__rawInput", value.ObjectVal(in.NewArray(elems...)))
+	if err := in.Run(setupProg); err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+
+	t0 := time.Now()
+	if err := in.Run(opProg); err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+
+	if err := in.Run(sigProg); err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	sig := in.Global("__sig").Str()
+	if sig == "" {
+		return "", rivertrail.Report{}, 0, fmt.Errorf("kernel produced no output")
+	}
+	return sig, st.Last(), ms, nil
+}
+
+// amdahlForApp resolves the ModeDeep 16-core bound for an app, caching
+// the (expensive) deep run per app.
+func amdahlForApp(app string, seed uint64, cache map[string]float64) (float64, error) {
+	if v, ok := cache[app]; ok {
+		return v, nil
+	}
+	var wl *workloads.Workload
+	if app == "Histogram" {
+		wl = workloads.Histogram()
+	} else {
+		var err error
+		wl, err = workloads.ByName(app)
+		if err != nil {
+			return 0, err
+		}
+	}
+	res, err := runDeepOnly(wl, seed)
+	if err != nil {
+		return 0, err
+	}
+	cache[app] = res.Amdahl16
+	return res.Amdahl16, nil
+}
+
+// ExecSummary condenses rows for logs: "5/7 loops parallel, best 3.1x".
+func ExecSummary(rows []ExecRow) string {
+	par := 0
+	best := 0.0
+	for _, r := range rows {
+		if r.Parallel {
+			par++
+		}
+		if s, _ := r.BestSpeedup(); s > best {
+			best = s
+		}
+	}
+	return fmt.Sprintf("%d/%d convertible loops executed in parallel, best measured speedup %.2fx",
+		par, len(rows), best)
+}

@@ -27,6 +27,12 @@ const (
 	// ModeDeep is the §3.2 loop profile + §3.3 dependence analysis that
 	// fills Table 3 and the Amdahl bounds.
 	ModeDeep
+	// ModeExec is the §5.1/§5.3 speculative-execution stage: the
+	// ParallelArray-convertible hot loops run through internal/autopar
+	// both ways and measured speedup is reported next to the ModeDeep
+	// Amdahl bound. Exec jobs are wall-clock measurements, so RunExecAll
+	// runs them one at a time instead of on the orchestrator pool.
+	ModeExec
 )
 
 func (m Mode) String() string {
@@ -35,6 +41,8 @@ func (m Mode) String() string {
 		return "light"
 	case ModeDeep:
 		return "deep"
+	case ModeExec:
+		return "exec"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
