@@ -349,6 +349,94 @@ func BenchmarkParallelLoops1Worker(b *testing.B)  { benchParallelLoops(b, 1) }
 func BenchmarkParallelLoops2Workers(b *testing.B) { benchParallelLoops(b, 2) }
 func BenchmarkParallelLoops4Workers(b *testing.B) { benchParallelLoops(b, 4) }
 
+// ---- Adaptive work-stealing scheduler ladder (internal/sched) ----
+
+// The ladder runs the raytracer's balanced primary-ray kernel and its
+// deliberately imbalanced supersampling variant (per-element cost
+// concentrated in the low-index corner) through the work-stealing
+// MapParallel at 1/2/4/8 workers, next to a static even-split reference
+// rebuilt on the same Worker API — the pre-scheduler dispatch, kept so
+// the stealing win on skewed work is *measured*, not asserted. The
+// steals/op metric shows how much rebalancing each run needed (≈0 on
+// the balanced kernel, substantial on the skewed one).
+
+func schedBenchKernel(b *testing.B, loop string) (*parallel.Kernel, int) {
+	b.Helper()
+	ek, err := workloads.ExecKernelByLoop(loop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &parallel.Kernel{Source: ek.KernelSource()}, ek.N / 2
+}
+
+func benchSched(b *testing.B, loop string, workers int) {
+	k, n := schedBenchKernel(b, loop)
+	steals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := k.MapParallel(n, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Values) != n {
+			b.Fatal("bad result")
+		}
+		steals += res.Sched.Steals
+	}
+	b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+}
+
+// benchSchedStatic is the pre-scheduler dispatch — one contiguous even
+// chunk per worker, no stealing — as the ladder's reference point.
+func benchSchedStatic(b *testing.B, loop string, workers int) {
+	k, n := schedBenchKernel(b, loop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]value.Value, n)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w, err := k.NewWorker()
+				if err != nil {
+					errs[wi] = err
+					return
+				}
+				for j := wi * n / workers; j < (wi+1)*n/workers; j++ {
+					v, err := w.CallKernel(j)
+					if err != nil {
+						errs[wi] = err
+						return
+					}
+					out[j] = v
+				}
+			}(wi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSchedBalanced1Worker(b *testing.B)  { benchSched(b, "primary-ray", 1) }
+func BenchmarkSchedBalanced2Workers(b *testing.B) { benchSched(b, "primary-ray", 2) }
+func BenchmarkSchedBalanced4Workers(b *testing.B) { benchSched(b, "primary-ray", 4) }
+func BenchmarkSchedBalanced8Workers(b *testing.B) { benchSched(b, "primary-ray", 8) }
+
+func BenchmarkSchedSkewed1Worker(b *testing.B)  { benchSched(b, "skewed", 1) }
+func BenchmarkSchedSkewed2Workers(b *testing.B) { benchSched(b, "skewed", 2) }
+func BenchmarkSchedSkewed4Workers(b *testing.B) { benchSched(b, "skewed", 4) }
+func BenchmarkSchedSkewed8Workers(b *testing.B) { benchSched(b, "skewed", 8) }
+
+func BenchmarkSchedSkewedStatic2Workers(b *testing.B) { benchSchedStatic(b, "skewed", 2) }
+func BenchmarkSchedSkewedStatic4Workers(b *testing.B) { benchSchedStatic(b, "skewed", 4) }
+func BenchmarkSchedSkewedStatic8Workers(b *testing.B) { benchSchedStatic(b, "skewed", 8) }
+
 // ---- Speculative ParallelArray execution (internal/autopar) ----
 
 // The full §5.1/§5.3 loop: ParallelArray.mapPar profiles under the

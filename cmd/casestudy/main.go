@@ -5,17 +5,26 @@
 //
 // Usage:
 //
-//	casestudy [-table=all|1|2|3|amdahl|fortuna|exec] [-exec] [-scale=N] [-seed=N] [-workers=N] [-timing]
+//	casestudy [-table=all|1|2|3|amdahl|fortuna|exec] [-exec] [-scale=N] [-seed=N] [-workers=N] [-timing] [-minchunk=N] [-chunkdiv=N]
 //
 // -scale divides workload sizes (1 = full Table 2/3 configuration).
-// -workers sizes the orchestrator's goroutine pool (0 = GOMAXPROCS,
-// 1 = sequential); output is byte-identical at every worker count.
-// -timing appends the per-job and end-to-end wall-clock report.
+// -workers sizes the work-stealing scheduler's goroutine pool
+// (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at every
+// worker count.
+// -timing appends the per-job wall-clock report plus the scheduler's
+// chunk/steal telemetry.
 // -exec (or -table=exec) runs ModeExec instead: every ParallelArray-
 // convertible hot loop executes through the speculative autopar engine
 // at a ladder of worker counts (1/2/4/8 by default; -workers N narrows
-// the ladder to {1, N}), reporting measured speedup next to the ModeDeep
-// Amdahl bound.
+// the ladder to {1, N}), reporting measured speedup and chunk/steal
+// counters next to the ModeDeep Amdahl bound.
+// -minchunk and -chunkdiv tune the scheduler's geometric chunk plan for
+// -exec (0 = internal/sched defaults): chunks cover
+// max(minchunk, remaining/chunkdiv) elements. At any fixed setting,
+// outputs stay byte-identical across worker counts (the ladder's
+// contract); the knobs move chunk boundaries, so runs at *different*
+// settings are only comparable for map/filter kernels or associative
+// reductions.
 package main
 
 import (
@@ -34,8 +43,10 @@ func main() {
 	execMode := flag.Bool("exec", false, "run ModeExec: speculative ParallelArray execution with measured speedup")
 	scaleDiv := flag.Int("scale", 1, "divide workload sizes by N (1 = paper-scale)")
 	seed := flag.Uint64("seed", 7, "deterministic seed")
-	workers := flag.Int("workers", 0, "orchestrator pool size (0 = GOMAXPROCS, 1 = sequential); with -exec, the top of the {1, N} measurement ladder")
+	workers := flag.Int("workers", 0, "scheduler pool size (0 = GOMAXPROCS, 1 = sequential); with -exec, the top of the {1, N} measurement ladder")
 	timing := flag.Bool("timing", false, "print per-job and total wall-clock times to stderr")
+	minChunk := flag.Int("minchunk", 0, "scheduler knob: smallest chunk of the geometric plan (0 = default)")
+	chunkDiv := flag.Int("chunkdiv", 0, "scheduler knob: chunk-size divisor, chunks cover remaining/chunkdiv elements (0 = default)")
 	flag.Parse()
 
 	switch *table {
@@ -57,6 +68,7 @@ func main() {
 		if *workers > 0 {
 			counts = []int{1, *workers}
 		}
+		study.SetExecTuning(*minChunk, *chunkDiv)
 		rows, measured, err := study.RunExecAll(*seed, counts)
 		if err != nil {
 			fatal(err)
@@ -88,8 +100,8 @@ func main() {
 		for _, jt := range rep.Timings {
 			fmt.Fprintf(os.Stderr, "job %-20s %-5s %8.2fms\n", jt.App, jt.Mode, float64(jt.Wall.Microseconds())/1000)
 		}
-		fmt.Fprintf(os.Stderr, "orchestrated %d jobs on %d workers in %.2fs\n",
-			len(rep.Timings), rep.Workers, rep.Wall.Seconds())
+		fmt.Fprintf(os.Stderr, "orchestrated %d jobs on %d workers in %.2fs (%d chunks, %d steals)\n",
+			len(rep.Timings), rep.Workers, rep.Wall.Seconds(), rep.Sched.Chunks, rep.Sched.Steals)
 	}
 	if err != nil {
 		// The orchestrator aggregates failures instead of failing fast:

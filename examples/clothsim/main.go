@@ -1,4 +1,4 @@
-// clothsim runs the Tear-able Cloth workload under all three JS-CERES
+// Command clothsim runs the Tear-able Cloth workload under all three JS-CERES
 // modes and prints the full per-application analysis: the Table 2 row,
 // the Table 3 nest rows, and the top dependence warnings that explain the
 // "medium" difficulty judgment.

@@ -1,4 +1,4 @@
-// imagefilter walks the paper's whole story on one CamanJS-style kernel:
+// Command imagefilter walks the paper's whole story on one CamanJS-style kernel:
 // (1) JS-CERES clears the per-pixel filter loop as data-parallel
 // (disjoint writes, read-only input); (2) the kernel then actually runs
 // across goroutines — River-Trail-style map — and (3) the parallel result

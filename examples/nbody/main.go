@@ -1,4 +1,4 @@
-// nbody contrasts the two variants of the paper's §3.3 example: the plain
+// Command nbody contrasts the two variants of the paper's §3.3 example: the plain
 // for-loop N-body step and the forEach-style rewrite. Extracting the loop
 // body into a function privatizes the function-scoped `p`, so JS-CERES
 // drops the p.* warnings; the com.* accumulation warnings survive in both.

@@ -1,4 +1,4 @@
-// proxyflow runs the entire Fig. 5 pipeline on localhost:
+// Command proxyflow runs the entire Fig. 5 pipeline on localhost:
 //
 //	web server ← proxy (instruments JS) ← interpreter-as-browser
 //	                ↑ results posted back              |

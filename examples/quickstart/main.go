@@ -1,4 +1,4 @@
-// Quickstart: run JS-CERES's dependence analysis on the paper's Fig. 6
+// Command quickstart runs JS-CERES's dependence analysis on the paper's Fig. 6
 // N-body step and print the warning report in the paper's own notation
 // ("while(line ..) ok ok → for(line ..) ok dependence").
 package main

@@ -16,8 +16,13 @@
 //     goroutines, one private interpreter per worker (built on
 //     internal/parallel's Kernel/Worker machinery), each armed with its
 //     own Guard: an impurity that only manifests beyond the profiled
-//     slice is detected on the worker, not silently raced. Results cross
-//     back only if primitive.
+//     slice is detected on the worker, not silently raced. Scheduling
+//     goes through internal/sched (adaptive chunks, randomized work
+//     stealing); results are index-addressed and reduce partials merge
+//     in fixed chunk-plan order, so outputs stay byte-identical at
+//     every worker count. A guard that trips mid-dispatch — including
+//     on a stolen chunk — cancels the whole pool. Results cross back
+//     only if primitive.
 //  4. Verify/fallback: any worker-side violation, error, or non-crossable
 //     result abandons the speculation and re-executes the remainder
 //     sequentially on the main interpreter, preserving exact sequential
@@ -33,15 +38,16 @@
 package autopar
 
 import (
+	"errors"
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
 	"repro/internal/js/printer"
 	"repro/internal/js/value"
 	"repro/internal/parallel"
+	"repro/internal/sched"
 )
 
 // Options configures one speculative operation.
@@ -57,6 +63,24 @@ type Options struct {
 	// Verify cross-checks the parallel result bit-identical against a
 	// sequential shadow run (used by tests and ModeExec validation).
 	Verify bool
+	// MinChunk and ChunkDivisor tune the work-stealing scheduler's chunk
+	// plan for the dispatched remainder (0 = sched defaults). At any
+	// fixed setting, outputs are byte-identical across worker counts.
+	// Map/filter outputs are identical at any setting; a reduce's merge
+	// bracketing follows the chunk boundaries, so comparing reduce
+	// output across *different* knob settings requires an associative
+	// combiner (Verify catches the rest).
+	MinChunk     int
+	ChunkDivisor int
+}
+
+// schedOptions maps the speculation options onto the scheduler's.
+func (o Options) schedOptions() sched.Options {
+	return sched.Options{
+		Workers:  o.Workers,
+		MinChunk: o.MinChunk,
+		Divisor:  o.ChunkDivisor,
+	}
 }
 
 // Outcome reports one speculative operation.
@@ -82,6 +106,11 @@ type Outcome struct {
 	// AbortReason is the §5.3-style reason the plan fell back ("" when
 	// the speculation succeeded or never started).
 	AbortReason string
+	// Chunks is the scheduler's chunk-plan length for the dispatched
+	// remainder; Steals counts successful steal operations. Steals are
+	// timing-dependent telemetry — they describe how the run balanced,
+	// never what it computed (0 when nothing dispatched).
+	Chunks, Steals int
 }
 
 const (
@@ -215,91 +244,136 @@ func triage(wi int, what string, v value.Value, err error, guard *Guard) *worker
 	return nil
 }
 
-// dispatch runs plan element indices [base, n) across workers, writing
-// kernel results into out[i]. It returns the worker count used and the
-// first fault (nil on success).
-func (p *plan) dispatch(workers int, out []value.Value) (int, *workerFault) {
-	rem := p.n - p.base
-	if workers > rem {
-		workers = rem
-	}
-	faults := make([]*workerFault, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, guard, fault := p.startWorker(wi)
-			if fault != nil {
-				faults[wi] = fault
-				return
-			}
-			lo, hi := parallel.Chunk(rem, workers, wi)
-			for i := p.base + lo; i < p.base+hi; i++ {
-				v, err := w.CallKernel(i)
-				// Fast path first: the fault label is formatted only when
-				// a fault actually occurred (this loop is the measured
-				// parallel hot path).
-				if err != nil || v.IsObject() || guard.Violation() != "" {
-					faults[wi] = triage(wi, fmt.Sprintf("kernel(%d) result", i), v, err, guard)
-					return
-				}
-				out[i] = v
-			}
-		}(wi)
-	}
-	wg.Wait()
-	for _, f := range faults {
-		if f != nil {
-			return workers, f
-		}
-	}
-	return workers, nil
+// errSpecAborted is the cancellation signal handed to the scheduler when
+// a worker faults; the fault detail travels in the per-worker slot.
+var errSpecAborted = errors.New("autopar: speculation aborted")
+
+// guardedPool is the lazily-built per-worker state of a dispatch: one
+// share-nothing interpreter plus an armed Guard per pool slot. Slots are
+// touched by a single goroutine each (the sched contract), so no locks.
+type guardedPool struct {
+	p       *plan
+	workers []*parallel.Worker
+	guards  []*Guard
+	faults  []*workerFault
+	folds   []value.Value
+	foldSet []bool
 }
 
-// reduceDispatch folds [base, n) in per-worker chunks, returning the
-// chunk partials in order (all crossable) plus each chunk's start index.
-func (p *plan) reduceDispatch(workers int) ([]value.Value, []int, int, *workerFault) {
-	rem := p.n - p.base
-	if workers > rem {
-		workers = rem
+func newGuardedPool(p *plan, size int) *guardedPool {
+	return &guardedPool{
+		p:       p,
+		workers: make([]*parallel.Worker, size),
+		guards:  make([]*Guard, size),
+		faults:  make([]*workerFault, size),
+		folds:   make([]value.Value, size),
+		foldSet: make([]bool, size),
 	}
-	partials := make([]value.Value, workers)
-	starts := make([]int, workers)
-	faults := make([]*workerFault, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, guard, fault := p.startWorker(wi)
-			if fault != nil {
-				faults[wi] = fault
-				return
-			}
-			fold, err := w.Callable("__chunkReduce")
-			if err != nil {
-				faults[wi] = &workerFault{reason: err.Error()}
-				return
-			}
-			lo, hi := parallel.Chunk(rem, workers, wi)
-			starts[wi] = p.base + lo
-			v, err := w.Call(fold, value.Int(p.base+lo), value.Int(p.base+hi))
-			what := fmt.Sprintf("chunk partial [%d,%d)", p.base+lo, p.base+hi)
-			if f := triage(wi, what, v, err, guard); f != nil {
-				faults[wi] = f
-				return
-			}
-			partials[wi] = v
-		}(wi)
+}
+
+// at returns slot w's guarded worker, building it on first use. A nil
+// worker means startup faulted (recorded in faults[w]).
+func (gp *guardedPool) at(w int) (*parallel.Worker, *Guard) {
+	if gp.workers[w] == nil {
+		ww, guard, fault := gp.p.startWorker(w)
+		if fault != nil {
+			gp.faults[w] = fault
+			return nil, nil
+		}
+		gp.workers[w], gp.guards[w] = ww, guard
 	}
-	wg.Wait()
-	for _, f := range faults {
+	return gp.workers[w], gp.guards[w]
+}
+
+// foldAt resolves slot w's __chunkReduce callable once per worker, not
+// per chunk (w's worker must already be built via at).
+func (gp *guardedPool) foldAt(w int) (value.Value, error) {
+	if !gp.foldSet[w] {
+		fold, err := gp.workers[w].Callable("__chunkReduce")
+		if err != nil {
+			return value.Undefined(), err
+		}
+		gp.folds[w], gp.foldSet[w] = fold, true
+	}
+	return gp.folds[w], nil
+}
+
+// firstFault returns the lowest-slot fault (nil when clean) — a
+// deterministic pick when several workers fault concurrently.
+func (gp *guardedPool) firstFault() *workerFault {
+	for _, f := range gp.faults {
 		if f != nil {
-			return nil, nil, workers, f
+			return f
 		}
 	}
-	return partials, starts, workers, nil
+	return nil
+}
+
+// dispatch runs plan element indices [base, n) across the work-stealing
+// pool, writing kernel results into index-addressed out[i] slots (so
+// output is byte-identical at every worker count). Any fault — error,
+// non-crossable result, or a guard tripping mid-chunk, stolen or not —
+// cancels the remaining chunks. It returns the scheduling stats and the
+// first fault (nil on success).
+func (p *plan) dispatch(opts sched.Options, out []value.Value) (sched.Stats, *workerFault) {
+	rem := p.n - p.base
+	gp := newGuardedPool(p, opts.MaxWorkers())
+	stats, _ := sched.Run(rem, opts, func(w, ci, lo, hi int) error {
+		ww, guard := gp.at(w)
+		if ww == nil {
+			return errSpecAborted
+		}
+		for i := p.base + lo; i < p.base+hi; i++ {
+			v, err := ww.CallKernel(i)
+			// Fast path first: the fault label is formatted only when
+			// a fault actually occurred (this loop is the measured
+			// parallel hot path).
+			if err != nil || v.IsObject() || guard.Violation() != "" {
+				gp.faults[w] = triage(w, fmt.Sprintf("kernel(%d) result", i), v, err, guard)
+				return errSpecAborted
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	return stats, gp.firstFault()
+}
+
+// reduceDispatch folds [base, n) chunk by chunk under the work-stealing
+// pool, returning the partials in chunk-plan order (all crossable) plus
+// each chunk's start index. The plan is a pure function of the remainder
+// size, so the partial ordering — and the caller's merge bracketing —
+// is identical at every worker count.
+func (p *plan) reduceDispatch(opts sched.Options) ([]value.Value, []int, sched.Stats, *workerFault) {
+	rem := p.n - p.base
+	chunkPlan := sched.Plan(rem, opts)
+	partials := make([]value.Value, len(chunkPlan))
+	starts := make([]int, len(chunkPlan))
+	gp := newGuardedPool(p, opts.MaxWorkers())
+	stats, _ := sched.RunPlan(chunkPlan, opts, func(w, ci, lo, hi int) error {
+		ww, guard := gp.at(w)
+		if ww == nil {
+			return errSpecAborted
+		}
+		fold, err := gp.foldAt(w)
+		if err != nil {
+			gp.faults[w] = &workerFault{reason: err.Error()}
+			return errSpecAborted
+		}
+		starts[ci] = p.base + lo
+		v, err := ww.Call(fold, value.Int(p.base+lo), value.Int(p.base+hi))
+		what := fmt.Sprintf("chunk partial [%d,%d)", p.base+lo, p.base+hi)
+		if f := triage(w, what, v, err, guard); f != nil {
+			gp.faults[w] = f
+			return errSpecAborted
+		}
+		partials[ci] = v
+		return nil
+	})
+	if f := gp.firstFault(); f != nil {
+		return nil, nil, stats, f
+	}
+	return partials, starts, stats, nil
 }
 
 // MapSpec executes out[i] = fn(elems[i], i) speculatively.
@@ -369,17 +443,18 @@ func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value
 		return oc
 	}
 
-	workers, fault := pl.dispatch(opts.Workers, out)
+	stats, fault := pl.dispatch(opts.schedOptions(), out)
+	oc.Chunks, oc.Steals = stats.Chunks, stats.Steals
 	if fault != nil {
 		oc.Pure = !fault.impure && oc.Pure
 		oc.AbortReason = "aborted parallel plan: " + fault.reason
 		sequentialRemainder(in, fn, elems, base, out, coerce, &oc)
 		return oc
 	}
-	// dispatch clamps to the remainder size; a 1-worker dispatch is not
-	// parallel execution, whatever the options asked for.
-	oc.Parallel = workers >= 2
-	oc.Workers = workers
+	// The scheduler clamps the pool to the chunk plan; a 1-worker
+	// dispatch is not parallel execution, whatever the options asked for.
+	oc.Parallel = stats.Workers >= 2
+	oc.Workers = stats.Workers
 	oc.Dispatched = n - base
 
 	if opts.Verify {
@@ -528,18 +603,19 @@ func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init val
 		return foldRemainder(in, fn, acc, elems, base, &oc), oc
 	}
 
-	partials, starts, workers, fault := pl.reduceDispatch(opts.Workers)
+	partials, starts, stats, fault := pl.reduceDispatch(opts.schedOptions())
+	oc.Chunks, oc.Steals = stats.Chunks, stats.Steals
 	if fault != nil {
 		oc.Pure = !fault.impure && oc.Pure
 		oc.AbortReason = "aborted parallel plan: " + fault.reason
 		return foldRemainder(in, fn, acc, elems, base, &oc), oc
 	}
 	merged := acc
-	for wi, part := range partials {
-		merged = call(in, fn, merged, part, value.Int(starts[wi]))
+	for ci, part := range partials {
+		merged = call(in, fn, merged, part, value.Int(starts[ci]))
 	}
-	oc.Parallel = workers >= 2
-	oc.Workers = workers
+	oc.Parallel = stats.Workers >= 2
+	oc.Workers = stats.Workers
 	oc.Dispatched = n - base
 
 	if opts.Verify {

@@ -617,3 +617,46 @@ function f(a, b) {
 		}
 	}
 }
+
+// TestGuardAbortMidSteal is the work-stealing regression: per-element
+// cost is concentrated in the head (so idle workers steal tail chunks)
+// while an impurity manifests only deep in that stolen tail. The stolen
+// chunk's guard must trip, cancellation must win over further stealing,
+// and the fallback must deliver exact sequential semantics — values and
+// the side effect landing on the main interpreter.
+func TestGuardAbortMidSteal(t *testing.T) {
+	const src = `
+var poison = 0;
+function f(x, i) {
+  var spin = i < 64 ? 300 : 3;
+  var acc = 0;
+  for (var j = 0; j < spin; j++) { acc += (x * 31 + j) % 7; }
+  if (i > 200) { poison = poison + 1; }
+  return x * 2 + (acc - acc);
+}`
+	in, fn := load(t, src)
+	elems := ints(256)
+	out, oc := MapSpec(in, fn, elems, Options{Workers: 4})
+	if oc.Pure {
+		t.Errorf("late impurity not observed: %+v", oc)
+	}
+	if oc.Parallel || oc.Workers != 1 {
+		t.Errorf("aborted plan still reports parallel execution: %+v", oc)
+	}
+	if !strings.Contains(oc.AbortReason, "poison") {
+		t.Errorf("abort reason %q does not name the poisoned variable", oc.AbortReason)
+	}
+	if oc.Chunks < 2 {
+		t.Errorf("skewed dispatch produced no plan to steal from: %+v", oc)
+	}
+	// Exact sequential semantics after the abort: every value, and the
+	// write count of the impure tail, land as a sequential run would.
+	for i, v := range out {
+		if want := float64(2 * (i + 1)); v.ToNumber() != want {
+			t.Fatalf("out[%d] = %v, want %v", i, v.ToNumber(), want)
+		}
+	}
+	if got := in.Global("poison").Num(); got != 55 {
+		t.Errorf("poison = %v, want 55 (one write per i in (200, 256))", got)
+	}
+}

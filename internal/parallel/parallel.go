@@ -4,9 +4,17 @@
 // worker, share-nothing, in the spirit of River Trail's map/reduce model
 // that the paper recommends libraries adopt (§5.1).
 //
-// The executor also cross-checks safety: parallel results must be
+// Concurrency/determinism contract: all four primitives (map, reduce,
+// filter, scan) schedule through internal/sched — the adaptive
+// work-stealing scheduler — instead of a static per-worker split. The
+// chunk plan is a pure function of (n, tuning), so per-chunk results
+// merge in chunk-index order with a bracketing that never depends on
+// worker count or steal timing; values that cross between share-nothing
+// interpreters (reduce partials, scan elements and offsets) must be
+// primitive and are rejected otherwise. Parallel results must be
 // bit-identical to sequential execution, which holds exactly when the
-// kernel really is iteration-independent.
+// kernel honors its contract (iteration-independent kernel/pred,
+// associative pure combine) — the executor cross-checks it.
 package parallel
 
 import (
@@ -17,6 +25,7 @@ import (
 	"repro/internal/js/interp"
 	"repro/internal/js/parser"
 	"repro/internal/js/value"
+	"repro/internal/sched"
 )
 
 // Kernel is a data-parallel loop body: JavaScript source that defines
@@ -59,6 +68,9 @@ func (k *Kernel) program() (*ast.Program, error) {
 type Result struct {
 	Values  []value.Value
 	Workers int
+	// Sched is the scheduling telemetry (chunk and steal counters) of
+	// the parallel run; zero-valued for sequential execution.
+	Sched sched.Stats
 }
 
 // Worker is one share-nothing kernel instance: a private interpreter with
@@ -117,8 +129,11 @@ func (k *Kernel) MapSequential(n int) (*Result, error) {
 	return &Result{Values: out, Workers: 1}, nil
 }
 
-// MapParallel runs kernel(i) for i in [0, n) across `workers` goroutines
-// (0 = GOMAXPROCS), each with its own share-nothing interpreter.
+// MapParallel runs kernel(i) for i in [0, n) across up to `workers`
+// goroutines (0 = GOMAXPROCS), each with its own share-nothing
+// interpreter, scheduled by the adaptive work-stealing scheduler.
+// Results are written into index-addressed slots, so output is
+// byte-identical at every worker count regardless of stealing.
 func (k *Kernel) MapParallel(n, workers int) (*Result, error) {
 	workers = clampWorkers(n, workers)
 	if workers <= 1 {
@@ -126,36 +141,39 @@ func (k *Kernel) MapParallel(n, workers int) (*Result, error) {
 	}
 
 	out := make([]value.Value, n)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, err := k.NewWorker()
+	opts := sched.Options{Workers: workers, Seed: k.Seed}
+	states := make([]*Worker, opts.MaxWorkers())
+	stats, err := sched.Run(n, opts, func(w, ci, lo, hi int) error {
+		ww, err := k.workerAt(states, w)
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			v, err := ww.CallKernel(i)
 			if err != nil {
-				errs[wi] = err
-				return
+				return fmt.Errorf("parallel: kernel(%d): %w", i, err)
 			}
-			// contiguous chunking: worker wi handles [lo, hi)
-			lo, hi := Chunk(n, workers, wi)
-			for i := lo; i < hi; i++ {
-				v, err := w.CallKernel(i)
-				if err != nil {
-					errs[wi] = fmt.Errorf("parallel: kernel(%d): %w", i, err)
-					return
-				}
-				out[i] = v
-			}
-		}(wi)
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return &Result{Values: out, Workers: stats.Workers, Sched: stats}, nil
+}
+
+// workerAt lazily builds the share-nothing worker for pool slot w. No
+// locking: sched runs each worker index on a single goroutine.
+func (k *Kernel) workerAt(states []*Worker, w int) (*Worker, error) {
+	if states[w] == nil {
+		ww, err := k.NewWorker()
 		if err != nil {
 			return nil, err
 		}
+		states[w] = ww
 	}
-	return &Result{Values: out, Workers: workers}, nil
+	return states[w], nil
 }
 
 // Equal reports whether two results hold strictly equal values.

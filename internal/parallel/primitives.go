@@ -11,10 +11,13 @@ package parallel
 //   - filter additionally requires pred(x, i), a pure predicate over a
 //     kernel result and its index.
 //
-// Scheduling is chunked: [0, n) splits into one contiguous chunk per
-// worker, each worker folds/scans its chunk on its own share-nothing
-// interpreter, and the per-chunk partials are merged in chunk order.
-// Merging re-invokes combine with values produced on *other* workers'
+// Scheduling goes through internal/sched: [0, n) decomposes into the
+// scheduler's geometric chunk plan — a pure function of (n, tuning),
+// independent of worker count — and chunks are executed by a
+// work-stealing pool of share-nothing interpreters. Per-chunk partials
+// merge in chunk-index order, so the merge bracketing is identical at
+// every worker count. Merging (and, under stealing, any scan element)
+// re-invokes combine with values produced on *other* workers'
 // interpreters, so those values must be primitives (number, string,
 // bool); an object crossing interpreters would alias mutable state
 // between workers, and the primitives reject it with an error instead.
@@ -29,9 +32,9 @@ package parallel
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/js/value"
+	"repro/internal/sched"
 )
 
 // FilterResult is the outcome of a filter execution: the kept kernel
@@ -40,6 +43,9 @@ type FilterResult struct {
 	Indices []int
 	Values  []value.Value
 	Workers int
+	// Sched is the scheduling telemetry of the parallel run;
+	// zero-valued for sequential execution.
+	Sched sched.Stats
 }
 
 // Callable resolves a function the kernel source must define.
@@ -70,11 +76,41 @@ func clampWorkers(n, workers int) int {
 	return workers
 }
 
-// Chunk returns worker wi's contiguous index range [lo, hi) under the
-// package's chunked schedule: [0, n) splits into one contiguous run per
-// worker, balanced to within one element.
-func Chunk(n, workers, wi int) (lo, hi int) {
-	return wi * n / workers, (wi + 1) * n / workers
+// foldState is one worker's interpreter plus its resolved combine
+// callable — the per-worker state of reduce and scan.
+type foldState struct {
+	w       *Worker
+	combine value.Value
+}
+
+// foldStateAt lazily builds the fold worker for pool slot w. No
+// locking: sched runs each worker index on a single goroutine.
+func (k *Kernel) foldStateAt(states []*foldState, w int) (*foldState, error) {
+	if states[w] == nil {
+		ww, err := k.NewWorker()
+		if err != nil {
+			return nil, err
+		}
+		combine, err := ww.Callable("combine")
+		if err != nil {
+			return nil, err
+		}
+		states[w] = &foldState{w: ww, combine: combine}
+	}
+	return states[w], nil
+}
+
+// mergeState picks an interpreter for the chunk-order merge: any
+// already-built fold worker serves (they are share-nothing equals), a
+// fresh one is built if the pool never materialized.
+func (k *Kernel) mergeState(states []*foldState) (*foldState, error) {
+	for _, fs := range states {
+		if fs != nil {
+			return fs, nil
+		}
+	}
+	one := make([]*foldState, 1)
+	return k.foldStateAt(one, 0)
 }
 
 // crossable rejects values that would carry mutable state between
@@ -123,60 +159,51 @@ func reduceChunk(w *Worker, combine value.Value, lo, hi int) (value.Value, error
 	return acc, nil
 }
 
-// ReduceParallel folds kernel(0..n) across `workers` goroutines
-// (0 = GOMAXPROCS): each worker folds its chunk, then the chunk partials
-// are folded in chunk order. Equals ReduceSequential exactly when
-// combine is associative and pure.
+// ReduceParallel folds kernel(0..n) across up to `workers` goroutines
+// (0 = GOMAXPROCS) under the work-stealing scheduler: each plan chunk
+// folds on whichever worker claims it, then the chunk partials fold in
+// chunk-index order on one interpreter. The chunk plan — and therefore
+// the merge bracketing — is a pure function of n, so the result is
+// byte-identical at every worker count; it equals ReduceSequential
+// exactly when combine is associative and pure.
 func (k *Kernel) ReduceParallel(n, workers int) (value.Value, error) {
 	workers = clampWorkers(n, workers)
 	if workers <= 1 {
 		return k.ReduceSequential(n)
 	}
 
-	partials := make([]value.Value, workers)
-	states := make([]*Worker, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, err := k.NewWorker()
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			combine, err := w.Callable("combine")
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			states[wi] = w
-			lo, hi := Chunk(n, workers, wi)
-			partials[wi], errs[wi] = reduceChunk(w, combine, lo, hi)
-		}(wi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	opts := sched.Options{Workers: workers, Seed: k.Seed}
+	plan := sched.Plan(n, opts)
+	partials := make([]value.Value, len(plan))
+	states := make([]*foldState, opts.MaxWorkers())
+	if _, err := sched.RunPlan(plan, opts, func(w, ci, lo, hi int) error {
+		fs, err := k.foldStateAt(states, w)
 		if err != nil {
-			return value.Undefined(), err
+			return err
 		}
+		v, err := reduceChunk(fs.w, fs.combine, lo, hi)
+		if err != nil {
+			return err
+		}
+		if err := crossable(v, fmt.Sprintf("chunk %d partial", ci)); err != nil {
+			return err
+		}
+		partials[ci] = v
+		return nil
+	}); err != nil {
+		return value.Undefined(), err
 	}
 
-	// Fold chunk partials in order on worker 0's interpreter.
-	w := states[0]
-	combine, err := w.Callable("combine")
+	// Fold chunk partials in plan order on one interpreter.
+	fs, err := k.mergeState(states)
 	if err != nil {
 		return value.Undefined(), err
 	}
 	acc := partials[0]
-	for wi := 1; wi < workers; wi++ {
-		if err := crossable(partials[wi], fmt.Sprintf("chunk %d partial", wi)); err != nil {
-			return value.Undefined(), err
-		}
-		acc, err = w.Call(combine, acc, partials[wi])
+	for ci := 1; ci < len(partials); ci++ {
+		acc, err = fs.w.Call(fs.combine, acc, partials[ci])
 		if err != nil {
-			return value.Undefined(), fmt.Errorf("parallel: combine partial %d: %w", wi, err)
+			return value.Undefined(), fmt.Errorf("parallel: combine partial %d: %w", ci, err)
 		}
 	}
 	return acc, nil
@@ -218,45 +245,45 @@ func filterChunk(w *Worker, pred value.Value, lo, hi int, res *FilterResult) err
 	return nil
 }
 
-// FilterParallel filters across `workers` goroutines (0 = GOMAXPROCS);
-// per-chunk keeps concatenate in chunk order, so the result is
-// index-ordered and identical to FilterSequential for pure predicates.
+// FilterParallel filters across up to `workers` goroutines
+// (0 = GOMAXPROCS) under the work-stealing scheduler; per-chunk keeps
+// concatenate in chunk-index order, so the result is index-ordered and
+// identical to FilterSequential for pure predicates, at every worker
+// count.
 func (k *Kernel) FilterParallel(n, workers int) (*FilterResult, error) {
 	workers = clampWorkers(n, workers)
 	if workers <= 1 {
 		return k.FilterSequential(n)
 	}
 
-	locals := make([]*FilterResult, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, err := k.NewWorker()
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			pred, err := w.Callable("pred")
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			lo, hi := Chunk(n, workers, wi)
-			locals[wi] = &FilterResult{}
-			errs[wi] = filterChunk(w, pred, lo, hi, locals[wi])
-		}(wi)
+	type predState struct {
+		w    *Worker
+		pred value.Value
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	opts := sched.Options{Workers: workers, Seed: k.Seed}
+	plan := sched.Plan(n, opts)
+	locals := make([]*FilterResult, len(plan))
+	states := make([]*predState, opts.MaxWorkers())
+	stats, err := sched.RunPlan(plan, opts, func(w, ci, lo, hi int) error {
+		if states[w] == nil {
+			ww, err := k.NewWorker()
+			if err != nil {
+				return err
+			}
+			pred, err := ww.Callable("pred")
+			if err != nil {
+				return err
+			}
+			states[w] = &predState{w: ww, pred: pred}
 		}
+		locals[ci] = &FilterResult{}
+		return filterChunk(states[w].w, states[w].pred, lo, hi, locals[ci])
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	res := &FilterResult{Workers: workers}
+	res := &FilterResult{Workers: stats.Workers, Sched: stats}
 	for _, l := range locals {
 		res.Indices = append(res.Indices, l.Indices...)
 		res.Values = append(res.Values, l.Values...)
@@ -319,10 +346,15 @@ func scanChunkLocal(w *Worker, combine value.Value, lo, hi int, out []value.Valu
 }
 
 // ScanParallel computes the inclusive prefix fold with the classic tiled
-// three-phase algorithm: (1) each worker scans its chunk locally,
-// (2) chunk totals fold sequentially into per-chunk offsets, (3) workers
-// combine their offset into each local element. Equals ScanSequential
-// exactly when combine is associative and pure.
+// three-phase algorithm, both parallel phases under the work-stealing
+// scheduler: (1) each plan chunk scans locally on whichever worker
+// claims it, (2) chunk totals fold sequentially into per-chunk offsets,
+// (3) each tail chunk combines its offset into its local elements. The
+// plan is a pure function of n, so the offset bracketing is identical at
+// every worker count; because stealing may run phases of the same chunk
+// on different interpreters, every scanned value must be primitive
+// (enforced). Equals ScanSequential exactly when combine is associative
+// and pure.
 func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 	workers = clampWorkers(n, workers)
 	if workers <= 1 {
@@ -330,86 +362,81 @@ func (k *Kernel) ScanParallel(n, workers int) (*Result, error) {
 	}
 
 	out := make([]value.Value, n)
-	states := make([]*Worker, workers)
-	combines := make([]value.Value, workers)
-	errs := make([]error, workers)
+	opts := sched.Options{Workers: workers, Seed: k.Seed}
+	plan := sched.Plan(n, opts)
+	states := make([]*foldState, opts.MaxWorkers())
 
-	// Phase 1: local inclusive scans.
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, err := k.NewWorker()
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			combine, err := w.Callable("combine")
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			states[wi], combines[wi] = w, combine
-			lo, hi := Chunk(n, workers, wi)
-			errs[wi] = scanChunkLocal(w, combine, lo, hi, out)
-		}(wi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	// Phase 1: local inclusive scans, chunk by chunk.
+	stats, err := sched.RunPlan(plan, opts, func(w, ci, lo, hi int) error {
+		fs, err := k.foldStateAt(states, w)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		if err := scanChunkLocal(fs.w, fs.combine, lo, hi, out); err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			if err := crossable(out[i], fmt.Sprintf("scan value at %d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 2: per-chunk offsets — the left fold of preceding chunk
-	// totals (each chunk's total is its last local-scan element).
-	offsets := make([]value.Value, workers)
-	w0 := states[0]
+	// totals (each chunk's total is its last local-scan element),
+	// bracketed by the fixed plan.
+	ms, err := k.mergeState(states)
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]value.Value, len(plan))
 	acc := value.Undefined()
-	for wi := 1; wi < workers; wi++ {
-		_, prevHi := Chunk(n, workers, wi-1)
-		total := out[prevHi-1]
-		if err := crossable(total, fmt.Sprintf("chunk %d total", wi-1)); err != nil {
-			return nil, err
-		}
-		if wi == 1 {
+	for ci := 1; ci < len(plan); ci++ {
+		total := out[plan[ci-1].Hi-1]
+		if ci == 1 {
 			acc = total
 		} else {
-			var err error
-			acc, err = w0.Call(combines[0], acc, total)
+			acc, err = ms.w.Call(ms.combine, acc, total)
 			if err != nil {
 				return nil, fmt.Errorf("parallel: combine offsets: %w", err)
 			}
-			if err := crossable(acc, fmt.Sprintf("chunk %d offset", wi)); err != nil {
+			if err := crossable(acc, fmt.Sprintf("chunk %d offset", ci)); err != nil {
 				return nil, err
 			}
 		}
-		offsets[wi] = acc
+		offsets[ci] = acc
 	}
 
-	// Phase 3: apply offsets on each worker's own interpreter.
-	for wi := 1; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w, combine := states[wi], combines[wi]
-			lo, hi := Chunk(n, workers, wi)
+	// Phase 3: apply offsets to every tail chunk (plan[1:], so the body's
+	// chunk index is shifted by one).
+	if len(plan) > 1 {
+		s3, err := sched.RunPlan(plan[1:], opts, func(w, ci, lo, hi int) error {
+			fs, err := k.foldStateAt(states, w)
+			if err != nil {
+				return err
+			}
+			offset := offsets[ci+1]
 			for i := lo; i < hi; i++ {
-				v, err := w.Call(combine, offsets[wi], out[i])
+				v, err := fs.w.Call(fs.combine, offset, out[i])
 				if err != nil {
-					errs[wi] = fmt.Errorf("parallel: combine offset at %d: %w", i, err)
-					return
+					return fmt.Errorf("parallel: combine offset at %d: %w", i, err)
 				}
 				out[i] = v
 			}
-		}(wi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
+		// Whole-run telemetry: steal counters accumulate across both
+		// parallel phases; Chunks stays the decomposition size (phase 3
+		// re-schedules the same tail chunks, it does not add new ones).
+		stats.Steals += s3.Steals
+		stats.StolenChunks += s3.StolenChunks
 	}
-	return &Result{Values: out, Workers: workers}, nil
+	return &Result{Values: out, Workers: stats.Workers, Sched: stats}, nil
 }

@@ -114,7 +114,12 @@ func Amdahl(results []*study.AppResult) string {
 
 // Exec renders the ModeExec table: measured speculative-execution
 // speedup per convertible hot loop, next to the ModeDeep Amdahl bound
-// (§5.1/§5.3 — the analyze → execute loop, closed).
+// (§5.1/§5.3 — the analyze → execute loop, closed). The chunks/steals
+// columns are the work-stealing scheduler's telemetry at the ladder's
+// top worker count: chunk-plan length (a pure function of n — identical
+// at every count) and successful steals (timing-dependent, like the
+// wall-clock columns; high steal counts on a skewed kernel are the
+// scheduler doing its job).
 func Exec(rows []study.ExecRow, counts []int) string {
 	var sb strings.Builder
 	sb.WriteString("ModeExec. Speculative ParallelArray execution - measured vs. predicted\n")
@@ -123,7 +128,11 @@ func Exec(rows []study.ExecRow, counts []int) string {
 	for _, w := range counts {
 		fmt.Fprintf(tw, "%dw ms\t", w)
 	}
-	fmt.Fprint(tw, "best\tAmdahl16\tparallel\tidentical\tabort\t\n")
+	top := 1
+	if len(counts) > 0 {
+		top = counts[len(counts)-1]
+	}
+	fmt.Fprintf(tw, "best\tAmdahl16\tchunks\tsteals@%dw\tparallel\tidentical\tabort\t\n", top)
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t", r.App, r.Loop, r.N)
 		for _, w := range counts {
@@ -134,8 +143,9 @@ func Exec(rows []study.ExecRow, counts []int) string {
 			}
 		}
 		best, at := r.BestSpeedup()
-		fmt.Fprintf(tw, "%.2fx@%d\t%.2fx\t%s\t%s\t%s\t\n",
-			best, at, r.Amdahl16, yesNo(r.Parallel), yesNo(r.Identical), dash(r.AbortReason))
+		fmt.Fprintf(tw, "%.2fx@%d\t%.2fx\t%d\t%d\t%s\t%s\t%s\t\n",
+			best, at, r.Amdahl16, r.Chunks[top], r.Steals[top],
+			yesNo(r.Parallel), yesNo(r.Identical), dash(r.AbortReason))
 	}
 	tw.Flush()
 	fmt.Fprintf(&sb, "\n%s\n", study.ExecSummary(rows))

@@ -53,6 +53,10 @@ type Report struct {
 	AbortReason string
 	// Elements processed.
 	Elements int
+	// Chunks is the work-stealing scheduler's chunk-plan length for the
+	// dispatched remainder; Steals counts successful steals (both 0 when
+	// nothing dispatched). Steals are timing-dependent telemetry only.
+	Chunks, Steals int
 }
 
 // State carries the API state for one interpreter.
@@ -102,6 +106,8 @@ func Install(in *interp.Interp) *State {
 			o.Set("misspeculated", value.Bool(st.last.Misspeculated))
 			o.Set("abortReason", value.String(st.last.AbortReason))
 			o.Set("elements", value.Int(st.last.Elements))
+			o.Set("chunks", value.Int(st.last.Chunks))
+			o.Set("steals", value.Int(st.last.Steals))
 			return value.ObjectVal(o), nil
 		})))
 	return st
@@ -119,6 +125,8 @@ func report(oc autopar.Outcome) Report {
 		Misspeculated: oc.Misspeculated,
 		AbortReason:   oc.AbortReason,
 		Elements:      oc.Elements,
+		Chunks:        oc.Chunks,
+		Steals:        oc.Steals,
 	}
 }
 

@@ -49,6 +49,12 @@ type ExecRow struct {
 	// Amdahl16 is the app's ModeDeep 16-core bound, for side-by-side
 	// comparison with the measured numbers.
 	Amdahl16 float64
+	// Chunks and Steals map worker count to the work-stealing
+	// scheduler's telemetry for the dispatched remainder: the chunk-plan
+	// length (identical at every count — the determinism contract) and
+	// the number of successful steals (timing-dependent; how much
+	// rebalancing the run needed).
+	Chunks, Steals map[int]int
 }
 
 // BestSpeedup returns the highest measured speedup and its worker count.
@@ -103,6 +109,28 @@ func normalizeCounts(counts []int) []int {
 	return out
 }
 
+// execTuning holds the scheduler knobs (cmd/casestudy -minchunk and
+// -chunkdiv) ModeExec threads into every speculative operation. Knobs
+// shape scheduling granularity only, never output values — but MinChunk
+// and ChunkDivisor move chunk boundaries, so a byte-identity comparison
+// must hold them fixed (RunExecAll does: one setting per run).
+var execTuning = struct{ minChunk, chunkDivisor int }{}
+
+// SetExecTuning configures the ModeExec scheduler knobs (0 = sched
+// defaults). Call before RunExecAll, like workloads.SetScale.
+func SetExecTuning(minChunk, chunkDivisor int) {
+	execTuning.minChunk, execTuning.chunkDivisor = minChunk, chunkDivisor
+}
+
+// execOptions builds the speculation options for one measured count.
+func execOptions(workers int) autopar.Options {
+	return autopar.Options{
+		Workers:      workers,
+		MinChunk:     execTuning.minChunk,
+		ChunkDivisor: execTuning.chunkDivisor,
+	}
+}
+
 // runExecKernel measures one kernel across the count ladder.
 func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow, error) {
 	n := workloads.CurrentScale().N(ek.N)
@@ -110,15 +138,19 @@ func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow,
 		App: ek.App, Loop: ek.Loop, N: n,
 		WallMS:  make(map[int]float64, len(counts)),
 		Speedup: make(map[int]float64, len(counts)),
+		Chunks:  make(map[int]int, len(counts)),
+		Steals:  make(map[int]int, len(counts)),
 	}
 	sigs := make(map[int]string, len(counts))
 	hasMulti, allParallel := false, true
 	for _, w := range counts {
-		sig, rep, ms, err := execOnce(ek, n, seed, autopar.Options{Workers: w})
+		sig, rep, ms, err := execOnce(ek, n, seed, execOptions(w))
 		if err != nil {
 			return row, err
 		}
 		row.WallMS[w] = ms
+		row.Chunks[w] = rep.Chunks
+		row.Steals[w] = rep.Steals
 		sigs[w] = sig
 		if w < 2 {
 			continue

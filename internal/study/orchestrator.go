@@ -6,15 +6,21 @@ package study
 // jobs — share-nothing interpreter instances per job, exactly the model
 // internal/parallel uses for loop iterations — so the whole study scales
 // with cores while producing output byte-identical to the sequential run.
+//
+// Scheduling goes through internal/sched at job granularity (a unit
+// chunk plan): deep jobs cost an order of magnitude more than light
+// ones and the spread across apps is wide, so work stealing — not a
+// static job split — is what keeps the pool busy to the last job. Job
+// results land in index-addressed slots and merge in input order, which
+// is why the schedule never shows in the output.
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/workloads"
 )
 
@@ -84,6 +90,10 @@ type RunReport struct {
 	Workers int
 	// Wall is the end-to-end orchestration time.
 	Wall time.Duration
+	// Sched is the job scheduler's telemetry (chunk and steal counters).
+	// Steals are timing-dependent; they feed the -timing report, never
+	// the deterministic tables.
+	Sched sched.Stats
 }
 
 // Orchestrate runs every (workload × mode) job on a worker pool and
@@ -99,56 +109,48 @@ func Orchestrate(ctx context.Context, opts Options) (*RunReport, error) {
 	if wls == nil {
 		wls = workloads.All()
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	jobs := make([]Job, 0, 2*len(wls))
 	for _, wl := range wls {
 		jobs = append(jobs, Job{wl, ModeLight}, Job{wl, ModeDeep})
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 
 	// Per-job output slots: jobs[2*wi] is wls[wi] light, jobs[2*wi+1] deep.
+	// Index-addressed writes + input-order merge = the schedule never
+	// shows in the output.
 	t2s := make([]Table2Row, len(wls))
 	deeps := make([]*AppResult, len(wls))
 	timings := make([]JobTiming, len(jobs))
 
 	start := time.Now()
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ji := range idx {
-				job := jobs[ji]
-				t0 := time.Now()
-				err := ctx.Err()
-				if err == nil {
-					switch job.Mode {
-					case ModeLight:
-						t2s[ji/2], err = RunLight(job.Workload, opts.Seed)
-					case ModeDeep:
-						deeps[ji/2], err = runDeepOnly(job.Workload, opts.Seed)
-					}
+	// One chunk per job: jobs are coarse (whole instrumented app runs),
+	// so stealing rebalances at job granularity. Job errors are recorded
+	// per slot, never returned to the scheduler — a broken app must not
+	// cancel its siblings (error aggregation, contract 3 in DESIGN.md).
+	stats, _ := sched.RunPlan(sched.UnitPlan(len(jobs)), sched.Options{
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+	}, func(w, ci, lo, hi int) error {
+		for ji := lo; ji < hi; ji++ {
+			job := jobs[ji]
+			t0 := time.Now()
+			err := ctx.Err()
+			if err == nil {
+				switch job.Mode {
+				case ModeLight:
+					t2s[ji/2], err = RunLight(job.Workload, opts.Seed)
+				case ModeDeep:
+					deeps[ji/2], err = runDeepOnly(job.Workload, opts.Seed)
 				}
-				if err != nil {
-					err = fmt.Errorf("study: %s/%s: %w", job.Workload.Name, job.Mode, err)
-				}
-				timings[ji] = JobTiming{App: job.Workload.Name, Mode: job.Mode, Wall: time.Since(t0), Err: err}
 			}
-		}()
-	}
-	for ji := range jobs {
-		idx <- ji
-	}
-	close(idx)
-	wg.Wait()
+			if err != nil {
+				err = fmt.Errorf("study: %s/%s: %w", job.Workload.Name, job.Mode, err)
+			}
+			timings[ji] = JobTiming{App: job.Workload.Name, Mode: job.Mode, Wall: time.Since(t0), Err: err}
+		}
+		return nil
+	})
 
-	rep := &RunReport{Timings: timings, Workers: workers, Wall: time.Since(start)}
+	rep := &RunReport{Timings: timings, Workers: stats.Workers, Wall: time.Since(start), Sched: stats}
 	var errs []error
 	for wi := range wls {
 		lightErr := timings[2*wi].Err

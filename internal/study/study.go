@@ -1,7 +1,19 @@
 // Package study orchestrates the full case-study pipeline of §3–§4: it
 // runs each Table 1 workload under the staged JS-CERES instrumentation
 // modes and regenerates Table 2 (running time), Table 3 (loop-nest
-// inspection) and the §4.2 findings (polymorphism, Amdahl bounds).
+// inspection) and the §4.2 findings (polymorphism, Amdahl bounds), plus
+// the §5 ModeExec stage that measures speculative execution.
+//
+// Concurrency/determinism contract: Orchestrate schedules the
+// (workload × analysis-mode) grid through internal/sched's work-stealing
+// pool at job granularity. Jobs share no mutable state — each builds its
+// own interpreter, parser and analyzers from (workload, seed) — their
+// results land in index-addressed slots, and the merge happens in input
+// (Table 1) order, so rendered output is byte-identical at every worker
+// count; steal/chunk telemetry is reported separately (RunReport.Sched)
+// and never feeds the tables. Job failures aggregate instead of
+// cancelling siblings. ModeExec runs are wall-clock measurements and
+// therefore execute one at a time, never on the shared pool.
 package study
 
 import (

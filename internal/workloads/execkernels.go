@@ -15,6 +15,11 @@ package workloads
 // sigma/Processing/D3 drivers) have no entry here — that absence *is*
 // the §4.1 finding: not every hot loop converts.
 
+import (
+	"fmt"
+	"strings"
+)
+
 // ExecKernel is one convertible hot loop in ParallelArray form.
 type ExecKernel struct {
 	// App is the Table 1 workload name (or "Histogram").
@@ -33,6 +38,28 @@ type ExecKernel struct {
 
 // N applies the scale to a full-size element count.
 func (s Scale) N(full int) int { return s.n(full) }
+
+// KernelSource converts the elemental to internal/parallel Kernel form
+// (`function kernel(i)`) for the scheduler benchmarks and tests. The
+// elemental is called with a fixed x — the Input stream perturbs values
+// only fractionally and is irrelevant to the cost *shape* the scheduler
+// ladder measures.
+func (ek ExecKernel) KernelSource() string {
+	return ek.Prelude + "\nvar __elemental = " + ek.Elemental + ";\n" +
+		"function kernel(i) { return __elemental(0, i); }\n"
+}
+
+// ExecKernelByLoop returns the convertible kernel whose Loop name
+// contains substr (the benchmarks address the balanced and skewed
+// raytracer variants this way).
+func ExecKernelByLoop(substr string) (ExecKernel, error) {
+	for _, ek := range ExecKernels() {
+		if strings.Contains(ek.Loop, substr) {
+			return ek, nil
+		}
+	}
+	return ExecKernel{}, fmt.Errorf("workloads: no exec kernel with loop matching %q", substr)
+}
 
 // ExecKernels returns the convertible hot loops in Table 1 order.
 func ExecKernels() []ExecKernel {
@@ -155,6 +182,45 @@ var SPC = [255, 60, 60];`,
     return sky < 0 ? 0 : sky;
   }
   return SPC[best] * (1 - bestT / 20) + x * 0.001;
+}`,
+			N:     3072,
+			Input: func(i int) float64 { return float64(i % 7) },
+		},
+		{
+			App:  "Realtime Raytracing",
+			Loop: "skewed adaptive supersampling",
+			// The deliberately imbalanced variant: a single large sphere
+			// sits in the upper-left of the frame, and only rays that hit
+			// it pay a 48-sample supersampling loop — so per-element cost
+			// is data-dependent and concentrated in the low-index corner.
+			// A static even split pins that corner on one worker; the
+			// work-stealing scheduler's shrinking tail chunks migrate it,
+			// which is exactly what the BenchmarkSched ladder measures.
+			Prelude: `
+var SRW = 64, SRH = 48;
+var SCX = -1.9, SCY = -1.4, SCZ = 5.0, SCR = 2.4;`,
+			Elemental: `function (x, i) {
+  var px = i % SRW;
+  var py = (i - px) / SRW;
+  var dx = (px - SRW / 2) / SRW, dy = (py - SRH / 2) / SRW, dz = 1;
+  var il = 1 / Math.sqrt(dx * dx + dy * dy + dz * dz);
+  dx *= il; dy *= il; dz *= il;
+  var b = SCX * dx + SCY * dy + SCZ * dz;
+  var det = b * b - (SCX * SCX + SCY * SCY + SCZ * SCZ) + SCR * SCR;
+  if (det <= 0) {
+    var sky = 8 + dy * 40;
+    return sky < 0 ? 0 : sky;
+  }
+  var t = b - Math.sqrt(det);
+  var acc = 0;
+  for (var s = 0; s < 48; s++) {
+    var jx = dx + Math.sin(s * 2.3 + px) * 0.002;
+    var jy = dy + Math.cos(s * 1.7 + py) * 0.002;
+    var jb = SCX * jx + SCY * jy + SCZ * dz;
+    var jd = jb * jb - (SCX * SCX + SCY * SCY + SCZ * SCZ) + SCR * SCR;
+    acc += jd > 0 ? (jb - Math.sqrt(jd)) : t;
+  }
+  return acc / 48 * 30 + x * 0.001;
 }`,
 			N:     3072,
 			Input: func(i int) float64 { return float64(i % 7) },
