@@ -1,23 +1,32 @@
-// Command ceresproxy runs the JS-CERES instrumentation proxy of Fig. 5:
-// point a browser (or this repository's interpreter) at it, and every
-// JavaScript response from the origin is rewritten with profiling
-// instrumentation on the way through. Pages post results to
-// /__ceres/results; the proxy saves human-readable reports. Rewrites
-// are served from a content-addressed single-flight cache; live
-// counters are at /__ceres/stats.
+// Command ceresproxy runs the JS-CERES instrumentation proxy of Fig. 5
+// as a sharded, pipelined rewrite service: point a browser (or this
+// repository's interpreter) at it, and every JavaScript response from
+// the origin is rewritten with profiling instrumentation on the way
+// through. Pages post results to /__ceres/results; the proxy saves
+// human-readable reports. Rewrites are served from a content-addressed
+// single-flight cache sharded -shards ways; misses run through the
+// staged decode→parse→rewrite→encode pipeline on -rewrite-workers
+// scheduler workers with a -queue-depth admission bound (saturation is
+// shed as 429 + Retry-After). POST a JSON batch to /__ceres/prewarm to
+// warm the cache ahead of traffic; live counters are at /__ceres/stats.
 //
 // Usage:
 //
 //	ceresproxy -origin http://localhost:8000 -listen :8080 -mode loops \
-//	    -reports ./ceres-reports -cache-bytes 67108864 -stats
+//	    -reports ./ceres-reports -cache-bytes 67108864 -shards 8 \
+//	    -rewrite-workers 4 -queue-depth 64 -refresh-ttl 0 -stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/instrument"
 	"repro/internal/proxy"
@@ -29,6 +38,10 @@ func main() {
 	mode := flag.String("mode", "light", "instrumentation mode: light, loops")
 	reports := flag.String("reports", "ceres-reports", "directory for result reports")
 	cacheBytes := flag.Int64("cache-bytes", proxy.DefaultCacheBytes, "rewrite cache budget in bytes (0 disables caching)")
+	shards := flag.Int("shards", proxy.DefaultShards, "cache shard count (independent lock domains)")
+	workers := flag.Int("rewrite-workers", 0, "rewrite pipeline worker count (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max outstanding rewrites before requests are shed with 429 (0 = workers*2)")
+	refreshTTL := flag.Duration("refresh-ttl", 0, "background-refresh hot cache entries nearing this age (0 disables)")
 	stats := flag.Bool("stats", true, "serve live counters at /__ceres/stats")
 	flag.Parse()
 
@@ -38,17 +51,49 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	p, err := proxy.New(*origin, m, *reports)
+	cfg := proxy.ServeConfig{
+		CacheBytes:   *cacheBytes,
+		DisableCache: *cacheBytes == 0,
+		Shards:       *shards,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		RefreshTTL:   *refreshTTL,
+	}
+	p, err := proxy.NewServing(*origin, m, *reports, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *cacheBytes == 0 {
-		p.Cache = nil
-	} else {
-		p.Cache = proxy.NewRewriteCache(*cacheBytes)
-	}
 	p.StatsEndpoint = *stats
-	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s, cache=%dB, stats=%v)\n",
-		*listen, *origin, m, *reports, *cacheBytes, *stats)
-	log.Fatal(http.ListenAndServe(*listen, p))
+	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s, cache=%dB x%d shards, workers=%d, queue-depth=%d, refresh-ttl=%s, stats=%v)\n",
+		*listen, *origin, m, *reports, *cacheBytes, *shards,
+		p.Pipeline.Queue().Workers(), p.Pipeline.Queue().Depth(), formatTTL(*refreshTTL), *stats)
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish,
+	// then drain the pipeline workers (a bare defer would never run —
+	// log.Fatal exits without running defers).
+	srv := &http.Server{Addr: *listen, Handler: p}
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("ceresproxy: shutdown: %v", err)
+		}
+		p.Close()
+		close(idle)
+	}()
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-idle
+}
+
+func formatTTL(d time.Duration) string {
+	if d <= 0 {
+		return "off"
+	}
+	return d.String()
 }

@@ -1,21 +1,38 @@
 // Command loadgen hammers the JS-CERES instrumentation proxy with a
 // configurable mix of repeated ("hot") and unique scripts and reports
-// throughput, rewrites/sec, and p50/p99 latency per client count — the
+// throughput, rewrites/sec, latency and admission queue-wait
+// percentiles, and backpressure counts per client count — the
 // measurement the ROADMAP's "heavy traffic" north star asks for: does
-// the cache-backed proxy actually scale with concurrent clients?
+// the sharded, pipelined proxy actually scale with concurrent clients,
+// and does it shed load instead of stretching the tail when it can't?
 //
 // The harness is self-contained: it starts a synthetic origin that
-// generates deterministic JavaScript on demand, puts the real proxy
-// (internal/proxy over HTTP) in front of it, and drives both through
-// the loopback TCP stack, so numbers include real serialization cost.
+// generates deterministic JavaScript on demand, puts the real serving
+// proxy (internal/proxy over HTTP: sharded cache + staged pipeline with
+// bounded admission) in front of it, and drives both through the
+// loopback TCP stack, so numbers include real serialization cost.
+//
+// Three scenarios:
+//
+//   - mix (default): the hot/unique request blend — the steady-state
+//     cache story.
+//   - saturation: every request is a distinct script, so every request
+//     pays a full rewrite; with a small -queue-depth the pipeline
+//     saturates and the rejected column shows backpressure engaging
+//     while q-wait p99 stays bounded.
+//   - prewarm: POSTs the hot set to /__ceres/prewarm first, then runs
+//     the mix — the hot pool is served from cache from request one.
 //
 // Usage:
 //
 //	loadgen -clients 1,2,4,8 -requests 400 -hot 16 -unique 0.25 \
-//	    -script-loops 12 -mode light -cache-bytes 67108864
+//	    -script-loops 12 -mode light -cache-bytes 67108864 \
+//	    -shards 8 -rewrite-workers 4 -queue-depth 64 -scenario mix
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -24,7 +41,6 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -35,6 +51,7 @@ import (
 
 	"repro/internal/instrument"
 	"repro/internal/proxy"
+	"repro/internal/report"
 )
 
 func main() {
@@ -45,6 +62,10 @@ func main() {
 	scriptLoops := flag.Int("script-loops", 12, "loops per generated script (rewrite cost knob)")
 	mode := flag.String("mode", "light", "instrumentation mode: light, loops")
 	cacheBytes := flag.Int64("cache-bytes", proxy.DefaultCacheBytes, "rewrite cache budget in bytes (0 disables caching)")
+	shards := flag.Int("shards", proxy.DefaultShards, "cache shard count")
+	workers := flag.Int("rewrite-workers", 0, "rewrite pipeline workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "admission bound before 429s (0 = workers*2)")
+	scenario := flag.String("scenario", "mix", "workload scenario: mix, saturation, prewarm")
 	seed := flag.Int64("seed", 7, "deterministic request-mix seed")
 	flag.Parse()
 
@@ -63,6 +84,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -hot must be >= 1 (use -unique 1 for an all-unique mix)")
 		os.Exit(2)
 	}
+	switch *scenario {
+	case "mix", "prewarm":
+	case "saturation":
+		// Saturation = no cache reuse: every request pays a rewrite, so
+		// the admission queue is the contended resource.
+		*uniqueFrac = 1.0
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -scenario %q (want mix, saturation or prewarm)\n", *scenario)
+		os.Exit(2)
+	}
 
 	originURL, stopOrigin, err := startOrigin(*scriptLoops)
 	if err != nil {
@@ -70,16 +101,20 @@ func main() {
 	}
 	defer stopOrigin()
 
-	fmt.Printf("loadgen: mode=%s hot=%d unique=%.0f%% requests=%d script-loops=%d cache=%dB\n",
-		m, *hot, *uniqueFrac*100, *requests, *scriptLoops, *cacheBytes)
-	fmt.Printf("%-8s %10s %12s %10s %10s %8s %8s %10s %9s\n",
-		"clients", "req/s", "rewrites/s", "p50", "p99", "hits", "misses", "coalesced", "failures")
+	fmt.Printf("loadgen: scenario=%s mode=%s hot=%d unique=%.0f%% requests=%d script-loops=%d cache=%dB shards=%d workers=%d queue-depth=%d\n",
+		*scenario, m, *hot, *uniqueFrac*100, *requests, *scriptLoops,
+		*cacheBytes, *shards, *workers, *queueDepth)
 
+	var rows []report.ServingRow
 	for _, c := range counts {
 		row, err := runRound(roundConfig{
 			origin:     originURL,
 			mode:       m,
 			cacheBytes: *cacheBytes,
+			shards:     *shards,
+			workers:    *workers,
+			queueDepth: *queueDepth,
+			scenario:   *scenario,
 			clients:    c,
 			requests:   *requests,
 			hot:        *hot,
@@ -89,10 +124,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d %10.0f %12.1f %10s %10s %8d %8d %10d %9d\n",
-			c, row.reqPerSec, row.rewritesPerSec, fmtDur(row.p50), fmtDur(row.p99),
-			row.stats.CacheHits, row.stats.CacheMisses, row.stats.Coalesced, row.stats.Failures)
+		rows = append(rows, *row)
 	}
+	fmt.Print(report.Serving(fmt.Sprintf("serving ladder (%s)", *scenario), rows))
 }
 
 func parseClients(s string) ([]int, error) {
@@ -144,6 +178,10 @@ type roundConfig struct {
 	origin     string
 	mode       instrument.Mode
 	cacheBytes int64
+	shards     int
+	workers    int
+	queueDepth int
+	scenario   string
 	clients    int
 	requests   int
 	hot        int
@@ -151,25 +189,25 @@ type roundConfig struct {
 	seed       int64
 }
 
-type roundResult struct {
-	reqPerSec      float64
-	rewritesPerSec float64
-	p50, p99       time.Duration
-	stats          proxy.Stats
-}
-
-// runRound builds a fresh proxy (fresh cache, so rounds are comparable)
-// and drives cfg.requests through cfg.clients goroutines.
-func runRound(cfg roundConfig) (*roundResult, error) {
-	p, err := proxy.New(cfg.origin, cfg.mode, "")
+// runRound builds a fresh serving proxy (fresh cache and pipeline, so
+// rounds are comparable) and drives cfg.requests through cfg.clients
+// goroutines. 429s count as rejected — not errors, and not samples:
+// req/s and the latency percentiles describe served (200) responses
+// only, so shedding shows up in the rejected column instead of
+// flattering the tail.
+func runRound(cfg roundConfig) (*report.ServingRow, error) {
+	scfg := proxy.ServeConfig{
+		CacheBytes:   cfg.cacheBytes,
+		DisableCache: cfg.cacheBytes == 0,
+		Shards:       cfg.shards,
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queueDepth,
+	}
+	p, err := proxy.NewServing(cfg.origin, cfg.mode, "", scfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.cacheBytes == 0 {
-		p.Cache = nil
-	} else {
-		p.Cache = proxy.NewRewriteCache(cfg.cacheBytes)
-	}
+	defer p.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -185,8 +223,15 @@ func runRound(cfg roundConfig) (*roundResult, error) {
 	}}
 	defer client.CloseIdleConnections()
 
-	var next, uniqueID atomic.Int64
+	if cfg.scenario == "prewarm" {
+		if err := prewarm(client, base, cfg.hot); err != nil {
+			return nil, err
+		}
+	}
+
+	var next, uniqueID, rejected atomic.Int64
 	latencies := make([][]time.Duration, cfg.clients)
+	qwaits := make([][]time.Duration, cfg.clients)
 	errs := make([]error, cfg.clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -203,16 +248,31 @@ func runRound(cfg roundConfig) (*roundResult, error) {
 					path = fmt.Sprintf("/hot/%d.js", rng.Intn(cfg.hot))
 				}
 				t0 := time.Now()
-				body, err := get(client, base+path)
+				res, err := get(client, base+path)
 				if err != nil {
 					errs[w] = err
 					return
 				}
+				if res.status == http.StatusTooManyRequests {
+					// Backpressure: shed fast, retry never (the round
+					// measures shedding, not client retry policy). Shed
+					// requests are counted, not sampled — mixing their
+					// near-instant turnaround into p50/p99 or req/s
+					// would understate served latency and overstate
+					// throughput exactly when saturation engages.
+					rejected.Add(1)
+					continue
+				}
 				latencies[w] = append(latencies[w], time.Since(t0))
-				if !strings.Contains(body, "__ceres") {
+				if res.status != http.StatusOK {
+					errs[w] = fmt.Errorf("GET %s: status %d", path, res.status)
+					return
+				}
+				if !strings.Contains(res.body, "__ceres") {
 					errs[w] = fmt.Errorf("response for %s not instrumented", path)
 					return
 				}
+				qwaits[w] = append(qwaits[w], res.queueWait)
 			}
 		}(w)
 	}
@@ -224,38 +284,84 @@ func runRound(cfg roundConfig) (*roundResult, error) {
 		}
 	}
 
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
+	var all, allQ []time.Duration
+	for i := range latencies {
+		all = append(all, latencies[i]...)
+		allQ = append(allQ, qwaits[i]...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(allQ, func(i, j int) bool { return allQ[i] < allQ[j] })
 	stats := p.Stats()
-	return &roundResult{
-		reqPerSec:      float64(len(all)) / wall.Seconds(),
-		rewritesPerSec: float64(stats.Rewrites) / wall.Seconds(),
-		p50:            percentile(all, 50),
-		p99:            percentile(all, 99),
-		stats:          stats,
+	return &report.ServingRow{
+		Clients:        cfg.clients,
+		ReqPerSec:      float64(len(all)) / wall.Seconds(),
+		RewritesPerSec: float64(stats.Rewrites) / wall.Seconds(),
+		P50:            percentile(all, 50),
+		P99:            percentile(all, 99),
+		QWaitP50:       percentile(allQ, 50),
+		QWaitP99:       percentile(allQ, 99),
+		Rejected:       rejected.Load(),
+		Hits:           stats.CacheHits,
+		Misses:         stats.CacheMisses,
+		Coalesced:      stats.Coalesced,
+		Failures:       stats.Failures,
 	}, nil
 }
 
-func get(client *http.Client, rawURL string) (string, error) {
-	if _, err := url.Parse(rawURL); err != nil {
-		return "", err
+// prewarm POSTs the round's hot set to /__ceres/prewarm so the mix
+// starts against a warm cache.
+func prewarm(client *http.Client, base string, hot int) error {
+	req := proxy.PrewarmRequest{}
+	for i := 0; i < hot; i++ {
+		req.URLs = append(req.URLs, fmt.Sprintf("/hot/%d.js", i))
 	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/__ceres/prewarm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("prewarm: status %d: %s", resp.StatusCode, out)
+	}
+	var pr proxy.PrewarmResponse
+	if err := json.Unmarshal(out, &pr); err != nil {
+		return fmt.Errorf("prewarm: %w", err)
+	}
+	fmt.Printf("prewarm: ok=%d saturated=%d failed=%d\n", pr.OK, pr.Saturated, pr.Failed)
+	return nil
+}
+
+type getResult struct {
+	status    int
+	body      string
+	queueWait time.Duration
+}
+
+func get(client *http.Client, rawURL string) (*getResult, error) {
 	resp, err := client.Get(rawURL)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("GET %s: status %d", rawURL, resp.StatusCode)
+	res := &getResult{status: resp.StatusCode, body: string(body)}
+	if v := resp.Header.Get(proxy.QueueWaitHeader); v != "" {
+		if us, err := strconv.ParseInt(v, 10, 64); err == nil {
+			res.queueWait = time.Duration(us) * time.Microsecond
+		}
 	}
-	return string(body), nil
+	return res, nil
 }
 
 func percentile(sorted []time.Duration, p int) time.Duration {
@@ -267,8 +373,4 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
-}
-
-func fmtDur(d time.Duration) string {
-	return d.Round(10 * time.Microsecond).String()
 }

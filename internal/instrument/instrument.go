@@ -66,19 +66,57 @@ type Result struct {
 // Rewrite parses src, wraps every loop with runtime callbacks, and
 // prepends the runtime. The original program's behaviour is preserved
 // (loop exit fires through try/finally even on break/return/throw).
+//
+// Rewrite is the one-shot composition of the four pipeline stages the
+// proxy's serving path runs as separate scheduler jobs:
+// Decode → Parse → Transform → Encode.
 func Rewrite(src string, mode Mode) (*Result, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	Transform(prog)
+	return &Result{Source: Encode(prog, mode), NumLoops: len(prog.Loops)}, nil
+}
+
+// Decode is pipeline stage 1: raw response bytes → source text. It
+// strips a UTF-8 byte-order mark (the lexer treats U+FEFF as a stray
+// token, so a BOM-prefixed script would otherwise fail to parse and
+// fall back to passthrough).
+func Decode(body []byte) string {
+	const bom = "\xef\xbb\xbf"
+	s := string(body)
+	return strings.TrimPrefix(s, bom)
+}
+
+// Parse is pipeline stage 2: source text → AST, with the package's
+// error prefix. The returned program carries the loop inventory the
+// transform keys on.
+func Parse(src string) (*ast.Program, error) {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("instrument: %w", err)
 	}
+	return prog, nil
+}
+
+// Transform is pipeline stage 3: wrap every syntactic loop with
+// enter/iter/exit callbacks, in place. It is mode-independent — the
+// mode only selects which runtime Encode prepends.
+func Transform(prog *ast.Program) {
 	tr := &transformer{}
 	for i := range prog.Body {
 		prog.Body[i] = tr.stmt(prog.Body[i])
 	}
+}
+
+// Encode is pipeline stage 4: prepend the runtime for mode and print
+// the transformed program back to source.
+func Encode(prog *ast.Program, mode Mode) string {
 	var sb strings.Builder
 	sb.WriteString(Runtime(mode))
 	sb.WriteString(printer.Print(prog))
-	return &Result{Source: sb.String(), NumLoops: len(prog.Loops)}, nil
+	return sb.String()
 }
 
 type transformer struct{}

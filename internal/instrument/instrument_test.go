@@ -204,3 +204,43 @@ func TestParseMode(t *testing.T) {
 		}
 	}
 }
+
+// TestStagedPipelineMatchesRewrite: the four exported stages composed
+// by hand produce byte-identical output to the one-shot Rewrite — the
+// contract that lets the proxy run them as separate scheduler jobs.
+func TestStagedPipelineMatchesRewrite(t *testing.T) {
+	src := "var s = 0;\nfor (var i = 0; i < 9; i++) { s += i; }\n"
+	for _, mode := range []Mode{ModeLight, ModeLoops} {
+		want, err := Rewrite(src, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Parse(Decode([]byte(src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		Transform(prog)
+		if got := Encode(prog, mode); got != want.Source {
+			t.Errorf("mode %v: staged output differs from Rewrite", mode)
+		}
+		if len(prog.Loops) != want.NumLoops {
+			t.Errorf("mode %v: staged loops %d, Rewrite %d", mode, len(prog.Loops), want.NumLoops)
+		}
+	}
+}
+
+// TestDecodeStripsBOM: a UTF-8 BOM would otherwise reach the lexer as
+// three illegal characters and force the script into passthrough.
+func TestDecodeStripsBOM(t *testing.T) {
+	src := Decode([]byte("\xef\xbb\xbfvar x = 1;"))
+	if src != "var x = 1;" {
+		t.Fatalf("Decode = %q, want BOM stripped", src)
+	}
+	if _, err := Rewrite(src, ModeLight); err != nil {
+		t.Fatalf("decoded source fails to rewrite: %v", err)
+	}
+	// Without Decode, the BOM is a parse error — the behaviour Decode exists to fix.
+	if _, err := Rewrite("\xef\xbb\xbfvar x = 1;", ModeLight); err == nil {
+		t.Fatal("BOM-prefixed source parsed; Decode no longer needed?")
+	}
+}

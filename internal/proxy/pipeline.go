@@ -1,0 +1,246 @@
+// The serving pipeline: the rewrite path split into explicit stages —
+// decode → parse/analyze → rewrite → encode — each running as its own
+// job on a bounded internal/sched.Queue instead of inline on the
+// request goroutine. Two properties follow:
+//
+//   - Admission control. A request enters the pipeline only if fewer
+//     than `depth` rewrites are outstanding; otherwise Submit reports
+//     sched.ErrSaturated immediately and the proxy sheds the load as
+//     HTTP 429 + Retry-After. Saturation is a bounded queue-wait tail,
+//     never unbounded goroutine pileup and latency growth.
+//   - Pipelining. Stages are separate scheduler jobs chained with
+//     Spawn, so while request A is encoding, request B can be parsing
+//     on another worker — and continuations drain before fresh
+//     admissions, so accepted work finishes first.
+//
+// Workers never block on other queue jobs (the deadlock rule from
+// sched.Queue): request goroutines wait on a completion channel,
+// background refreshes deliver through a callback.
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/instrument"
+	"repro/internal/js/ast"
+	"repro/internal/sched"
+)
+
+// StageNames lists the pipeline stages in execution order.
+var StageNames = [4]string{"decode", "parse", "rewrite", "encode"}
+
+const (
+	stageDecode = iota
+	stageParse
+	stageRewrite
+	stageEncode
+)
+
+// Pipeline is the staged rewrite service. Create with NewPipeline,
+// install into a cache with SetRewriteFunc(pl.Rewrite) and
+// SetRefresh(ttl, pl.AsyncRewrite), close with Close.
+type Pipeline struct {
+	queue *sched.Queue
+
+	mu       sync.Mutex
+	stages   [4]stageStat
+	complete int64
+	failures int64
+}
+
+type stageStat struct {
+	jobs    int64
+	totalNs int64
+	maxNs   int64
+}
+
+// StageStats describes one pipeline stage's execution history.
+type StageStats struct {
+	Name string `json:"name"`
+	// Jobs counts stage executions (== admitted requests for decode;
+	// later stages run fewer when an earlier stage failed).
+	Jobs int64 `json:"jobs"`
+	// TotalUs/MeanUs/MaxUs are stage execution time in microseconds.
+	TotalUs int64 `json:"total_us"`
+	MeanUs  int64 `json:"mean_us"`
+	MaxUs   int64 `json:"max_us"`
+}
+
+// PipelineStats is a point-in-time snapshot of the pipeline.
+type PipelineStats struct {
+	// Queue is the scheduler-level view: admissions, rejections,
+	// in-flight tickets, and queue-wait mean/p50/p99/max.
+	Queue sched.QueueStats `json:"queue"`
+	// Stages reports per-stage job counts and timing, in order.
+	Stages []StageStats `json:"stages"`
+	// Completed counts rewrites that produced output; Failures counts
+	// rewrites that ended in an error (parse failures, not rejections —
+	// rejected requests never enter the pipeline).
+	Completed int64 `json:"completed"`
+	Failures  int64 `json:"failures"`
+}
+
+// NewPipeline starts a staged rewrite service on `workers` scheduler
+// workers (<= 0 → 1) with an admission bound of `depth` outstanding
+// rewrites (<= 0 → workers*2).
+func NewPipeline(workers, depth int) *Pipeline {
+	return &Pipeline{queue: sched.NewQueue(workers, depth)}
+}
+
+// Close drains in-flight work and stops the workers.
+func (pl *Pipeline) Close() { pl.queue.Close() }
+
+// Queue exposes the underlying scheduler queue (stats, capacity).
+func (pl *Pipeline) Queue() *sched.Queue { return pl.queue }
+
+// pipeJob carries one rewrite through the four stages.
+type pipeJob struct {
+	pl   *Pipeline
+	src  []byte
+	mode instrument.Mode
+	t0   time.Time // submit time; stage 1 computes the queue wait
+
+	text string
+	prog *ast.Program
+	body []byte
+	wait time.Duration
+	err  error
+	cb   func(body []byte, wait time.Duration, err error)
+}
+
+// Rewrite is the cache's RewriteFunc: admission-checked, blocking until
+// the staged rewrite completes. A saturated queue returns
+// sched.ErrSaturated without queueing.
+func (pl *Pipeline) Rewrite(src []byte, mode instrument.Mode) ([]byte, time.Duration, error) {
+	type result struct {
+		body []byte
+		wait time.Duration
+		err  error
+	}
+	ch := make(chan result, 1)
+	err := pl.submit(src, mode, func(body []byte, wait time.Duration, err error) {
+		ch <- result{body, wait, err}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	r := <-ch
+	return r.body, r.wait, r.err
+}
+
+// AsyncRewrite is the cache's refresh entry point: same staged path,
+// same admission bound, but non-blocking — the result (or the admission
+// error) is delivered to cb. Background refreshes therefore yield to
+// foreground traffic exactly when the queue is saturated.
+func (pl *Pipeline) AsyncRewrite(src []byte, mode instrument.Mode, cb func(body []byte, err error)) {
+	if err := pl.submit(src, mode, func(body []byte, _ time.Duration, err error) {
+		cb(body, err)
+	}); err != nil {
+		cb(nil, err)
+	}
+}
+
+func (pl *Pipeline) submit(src []byte, mode instrument.Mode, cb func([]byte, time.Duration, error)) error {
+	j := &pipeJob{pl: pl, src: src, mode: mode, t0: time.Now(), cb: cb}
+	return pl.queue.Submit(j.decode)
+}
+
+// recoverStage contains a panicking stage: the job completes with an
+// error (delivered to the waiting caller — nobody hangs on the
+// completion channel, and the cache's single-flight entry resolves)
+// instead of the panic killing a shared pipeline worker. A
+// panic-inducing script is handled like a parse failure: the proxy
+// serves it un-instrumented.
+func (j *pipeJob) recoverStage() {
+	if r := recover(); r != nil {
+		j.err = fmt.Errorf("proxy: rewrite stage panic: %v", r)
+		j.finish()
+	}
+}
+
+// timed runs fn as stage `stage`, recording its duration.
+func (j *pipeJob) timed(stage int, fn func()) {
+	start := time.Now()
+	fn()
+	ns := time.Since(start).Nanoseconds()
+	pl := j.pl
+	pl.mu.Lock()
+	s := &pl.stages[stage]
+	s.jobs++
+	s.totalNs += ns
+	if ns > s.maxNs {
+		s.maxNs = ns
+	}
+	pl.mu.Unlock()
+}
+
+// decode is stage 1: bytes → source text. It also stamps the queue
+// wait — the time between admission and first execution.
+func (j *pipeJob) decode(w *sched.WorkerCtx) {
+	defer j.recoverStage()
+	j.wait = time.Since(j.t0)
+	j.timed(stageDecode, func() { j.text = instrument.Decode(j.src) })
+	w.Spawn(j.parse)
+}
+
+// parse is stage 2: source text → AST (the analyze half: the parse
+// also inventories every syntactic loop the transform will wrap).
+func (j *pipeJob) parse(w *sched.WorkerCtx) {
+	defer j.recoverStage()
+	j.timed(stageParse, func() { j.prog, j.err = instrument.Parse(j.text) })
+	if j.err != nil {
+		j.finish()
+		return
+	}
+	w.Spawn(j.rewrite)
+}
+
+// rewrite is stage 3: wrap every loop with runtime callbacks, in place.
+func (j *pipeJob) rewrite(w *sched.WorkerCtx) {
+	defer j.recoverStage()
+	j.timed(stageRewrite, func() { instrument.Transform(j.prog) })
+	w.Spawn(j.encode)
+}
+
+// encode is stage 4: runtime + printed program → response bytes.
+func (j *pipeJob) encode(w *sched.WorkerCtx) {
+	defer j.recoverStage()
+	j.timed(stageEncode, func() { j.body = []byte(instrument.Encode(j.prog, j.mode)) })
+	j.finish()
+}
+
+func (j *pipeJob) finish() {
+	pl := j.pl
+	pl.mu.Lock()
+	if j.err != nil {
+		pl.failures++
+	} else {
+		pl.complete++
+	}
+	pl.mu.Unlock()
+	j.cb(j.body, j.wait, j.err)
+}
+
+// Stats snapshots the pipeline and its queue.
+func (pl *Pipeline) Stats() PipelineStats {
+	st := PipelineStats{Queue: pl.queue.Stats()}
+	pl.mu.Lock()
+	st.Completed = pl.complete
+	st.Failures = pl.failures
+	for i, s := range pl.stages {
+		ss := StageStats{
+			Name:    StageNames[i],
+			Jobs:    s.jobs,
+			TotalUs: s.totalNs / 1e3,
+			MaxUs:   s.maxNs / 1e3,
+		}
+		if s.jobs > 0 {
+			ss.MeanUs = s.totalNs / s.jobs / 1e3
+		}
+		st.Stages = append(st.Stages, ss)
+	}
+	pl.mu.Unlock()
+	return st
+}

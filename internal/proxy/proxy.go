@@ -7,16 +7,22 @@
 // directory, which is the substitution DESIGN.md documents).
 //
 // The proxy is built to sit on the hot path of every page load: rewrites
-// go through a content-addressed single-flight cache (cache.go),
-// forwarding follows reverse-proxy rules (hop-by-hop headers stripped in
-// both directions per RFC 9110 §7.6.1, escaped paths preserved, non-JS
+// go through a content-addressed single-flight cache (cache.go) sharded
+// N ways by content hash, cache misses flow through the staged serving
+// pipeline (pipeline.go) with bounded admission — saturation is shed as
+// HTTP 429 + Retry-After instead of queueing without limit — forwarding
+// follows reverse-proxy rules (hop-by-hop headers stripped in both
+// directions per RFC 9110 §7.6.1, escaped paths preserved, non-JS
 // bodies streamed), and all counters are exposed through the race-free
-// Stats accessor and the /__ceres/stats endpoint.
+// Stats accessor and the /__ceres/stats endpoint. /__ceres/prewarm
+// accepts a batch of script URLs or inline sources and fans them
+// through the same pipeline to warm the cache ahead of traffic.
 package proxy
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,6 +30,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,7 +38,14 @@ import (
 	"time"
 
 	"repro/internal/instrument"
+	"repro/internal/sched"
 )
+
+// QueueWaitHeader is set on rewritten JavaScript responses: the
+// admission queue wait the rewrite paid, in microseconds (0 for cache
+// hits and inline rewrites). Load generators read it to report
+// queue-wait percentiles per client count.
+const QueueWaitHeader = "X-Ceres-Queue-Wait"
 
 // Proxy is the instrumenting reverse proxy.
 type Proxy struct {
@@ -46,14 +60,19 @@ type Proxy struct {
 	// Cache dedupes rewrites across requests. nil disables caching:
 	// every JavaScript response is rewritten from scratch.
 	Cache *RewriteCache
+	// Pipeline, when non-nil, runs rewrites as staged scheduler jobs
+	// with bounded admission; saturation is shed as 429. NewServing
+	// wires it under the cache (misses pay admission, hits do not).
+	Pipeline *Pipeline
 	// StatsEndpoint serves GET /__ceres/stats as JSON when true.
 	StatsEndpoint bool
 
 	instrumented atomic.Int64
 	passthrough  atomic.Int64
 	failures     atomic.Int64
-	// uncachedRewrites counts direct instrument.Rewrite calls made when
-	// Cache is nil (the cache tracks its own).
+	rejected     atomic.Int64
+	// uncachedRewrites counts direct rewrite calls made when Cache is
+	// nil (the cache tracks its own).
 	uncachedRewrites atomic.Int64
 	seq              atomic.Int64
 
@@ -61,10 +80,32 @@ type Proxy struct {
 	results []Report
 }
 
-// Stats is a consistent-enough snapshot of the proxy's counters: each
-// field is individually exact; the set is assembled without a global
-// pause, so fields racing with live traffic may be offset by in-flight
-// requests.
+// ServeConfig sizes the serving layer built by NewServing.
+type ServeConfig struct {
+	// CacheBytes is the rewrite-cache byte budget
+	// (<= 0 → DefaultCacheBytes).
+	CacheBytes int64
+	// DisableCache runs every rewrite through the pipeline with no
+	// cache in front (the `-cache-bytes 0` flag semantics).
+	DisableCache bool
+	// Shards splits the cache into independent lock domains
+	// (0 → DefaultShards).
+	Shards int
+	// Workers sizes the pipeline's scheduler pool (0 → GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds outstanding admitted rewrites; beyond it,
+	// requests are shed with 429 (0 → Workers*2).
+	QueueDepth int
+	// RefreshTTL > 0 enables near-expiry background refresh of hot
+	// cache entries through the same pipeline.
+	RefreshTTL time.Duration
+}
+
+// Stats is a snapshot of the proxy's counters. Each cache shard is
+// snapshotted under its own lock — a shard's entries, bytes and
+// in-flight rewrites are mutually consistent — and the proxy-level
+// atomics are read once each; fields racing with live traffic may be
+// offset by requests still in flight.
 type Stats struct {
 	// Instrumented counts responses served with a rewritten body.
 	Instrumented int64 `json:"instrumented"`
@@ -74,19 +115,32 @@ type Stats struct {
 	// Failures counts JS responses passed through unmodified because
 	// the rewrite failed (step 2 must never break the page).
 	Failures int64 `json:"failures"`
-	// Rewrites counts actual instrument.Rewrite invocations, cached and
-	// uncached paths combined.
+	// Rejected counts requests shed with 429 because the pipeline's
+	// admission queue was saturated.
+	Rejected int64 `json:"rejected"`
+	// Rewrites counts rewrite invocations, cached and uncached paths
+	// combined (background refreshes count separately).
 	Rewrites int64 `json:"rewrites"`
 	// CacheHits/CacheMisses/Coalesced/CacheEvictions/CacheBytes/
-	// CacheEntries mirror RewriteCache.Stats (zero when Cache is nil).
+	// CacheEntries/CacheInflight/CacheRefreshes/CacheShards mirror
+	// RewriteCache.Stats (zero when Cache is nil). CacheInflight is the
+	// number of single-flight rewrites in progress — entries the cache
+	// is committed to that are not yet resident, included so the
+	// snapshot cannot under-report entries against bytes.
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	Coalesced      int64 `json:"coalesced"`
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheBytes     int64 `json:"cache_bytes"`
 	CacheEntries   int64 `json:"cache_entries"`
+	CacheInflight  int64 `json:"cache_inflight"`
+	CacheRefreshes int64 `json:"cache_refreshes"`
+	CacheShards    int   `json:"cache_shards"`
 	// Reports counts result uploads accepted on /__ceres/results.
 	Reports int64 `json:"reports"`
+	// Pipeline is the staged serving pipeline's snapshot (nil when the
+	// proxy rewrites inline).
+	Pipeline *PipelineStats `json:"pipeline,omitempty"`
 }
 
 // Report is one result upload from the exercised page.
@@ -96,8 +150,9 @@ type Report struct {
 	Body     json.RawMessage `json:"body"`
 }
 
-// New returns a proxy for the given origin with a DefaultCacheBytes
-// rewrite cache and the stats endpoint enabled.
+// New returns a proxy for the given origin with a DefaultCacheBytes,
+// DefaultShards rewrite cache, inline rewrites (no pipeline), and the
+// stats endpoint enabled.
 func New(origin string, mode instrument.Mode, reportDir string) (*Proxy, error) {
 	u, err := url.Parse(origin)
 	if err != nil {
@@ -108,17 +163,52 @@ func New(origin string, mode instrument.Mode, reportDir string) (*Proxy, error) 
 		Mode:          mode,
 		ReportDir:     reportDir,
 		Client:        http.DefaultClient,
-		Cache:         NewRewriteCache(DefaultCacheBytes),
+		Cache:         NewShardedRewriteCache(DefaultCacheBytes, DefaultShards),
 		StatsEndpoint: true,
 	}, nil
 }
 
-// Stats snapshots the proxy and cache counters.
+// NewServing returns the production-shaped proxy: sharded cache,
+// staged pipeline with bounded admission under every cache miss, and
+// (when cfg.RefreshTTL > 0) near-expiry background refresh through the
+// same pipeline. Callers must Close it to stop the pipeline workers.
+func NewServing(origin string, mode instrument.Mode, reportDir string, cfg ServeConfig) (*Proxy, error) {
+	p, err := New(origin, mode, reportDir)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p.Pipeline = NewPipeline(workers, cfg.QueueDepth)
+	if cfg.DisableCache {
+		p.Cache = nil
+		return p, nil
+	}
+	p.Cache = NewShardedRewriteCache(cfg.CacheBytes, cfg.Shards)
+	p.Cache.SetRewriteFunc(p.Pipeline.Rewrite)
+	if cfg.RefreshTTL > 0 {
+		p.Cache.SetRefresh(cfg.RefreshTTL, p.Pipeline.AsyncRewrite)
+	}
+	return p, nil
+}
+
+// Close stops the pipeline workers, draining in-flight rewrites. Safe
+// to call on pipeline-less proxies.
+func (p *Proxy) Close() {
+	if p.Pipeline != nil {
+		p.Pipeline.Close()
+	}
+}
+
+// Stats snapshots the proxy, cache and pipeline counters.
 func (p *Proxy) Stats() Stats {
 	s := Stats{
 		Instrumented: p.instrumented.Load(),
 		Passthrough:  p.passthrough.Load(),
 		Failures:     p.failures.Load(),
+		Rejected:     p.rejected.Load(),
 		Rewrites:     p.uncachedRewrites.Load(),
 	}
 	p.mu.Lock()
@@ -133,6 +223,13 @@ func (p *Proxy) Stats() Stats {
 		s.CacheEvictions = cs.Evictions
 		s.CacheBytes = cs.Bytes
 		s.CacheEntries = cs.Entries
+		s.CacheInflight = cs.Inflight
+		s.CacheRefreshes = cs.Refreshes
+		s.CacheShards = cs.Shards
+	}
+	if p.Pipeline != nil {
+		ps := p.Pipeline.Stats()
+		s.Pipeline = &ps
 	}
 	return s
 }
@@ -141,6 +238,10 @@ func (p *Proxy) Stats() Stats {
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/__ceres/results" && r.Method == http.MethodPost {
 		p.handleResults(w, r)
+		return
+	}
+	if r.URL.Path == "/__ceres/prewarm" && r.Method == http.MethodPost {
+		p.handlePrewarm(w, r)
 		return
 	}
 	if r.URL.Path == "/__ceres/stats" && p.StatsEndpoint && r.Method == http.MethodGet {
@@ -232,7 +333,16 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	out, rerr := p.rewrite(body)
+	out, wait, rerr := p.rewrite(body)
+	if errors.Is(rerr, sched.ErrSaturated) {
+		// Backpressure, not failure: the admission queue is full, so
+		// shed the request instead of queueing without bound. Clients
+		// retry after a beat and the queue-wait tail stays bounded.
+		p.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "rewrite queue saturated", http.StatusTooManyRequests)
+		return
+	}
 	if rerr != nil {
 		// Step 2 must never break the page: unparsable scripts pass
 		// through untouched.
@@ -242,22 +352,32 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 		p.instrumented.Add(1)
 	}
 	copyEndToEndHeaders(w.Header(), resp.Header)
+	w.Header().Set(QueueWaitHeader, strconv.FormatInt(wait.Microseconds(), 10))
 	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
 	w.WriteHeader(resp.StatusCode)
 	_, _ = w.Write(out)
 }
 
-// rewrite instruments src through the cache when one is configured.
-func (p *Proxy) rewrite(src []byte) ([]byte, error) {
+// rewrite instruments src through the cache when one is configured,
+// through the pipeline when only that is, and inline otherwise. The
+// returned wait is the pipeline admission queue wait (0 on cache hits
+// and inline rewrites).
+func (p *Proxy) rewrite(src []byte) ([]byte, time.Duration, error) {
 	if p.Cache != nil {
-		return p.Cache.Rewrite(src, p.Mode)
+		return p.Cache.RewriteTimed(src, p.Mode)
+	}
+	if p.Pipeline != nil {
+		body, wait, err := p.Pipeline.Rewrite(src, p.Mode)
+		if !errors.Is(err, sched.ErrSaturated) {
+			// A shed request ran no rewrite; counting it would inflate
+			// Rewrites by exactly the Rejected count.
+			p.uncachedRewrites.Add(1)
+		}
+		return body, wait, err
 	}
 	p.uncachedRewrites.Add(1)
-	res, err := instrument.Rewrite(string(src), p.Mode)
-	if err != nil {
-		return nil, err
-	}
-	return []byte(res.Source), nil
+	body, wait, err := inlineRewrite(src, p.Mode)
+	return body, wait, err
 }
 
 func isJavaScript(contentType, path string) bool {
@@ -273,6 +393,173 @@ func (p *Proxy) handleStats(w http.ResponseWriter) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(p.Stats())
+}
+
+// PrewarmRequest is the /__ceres/prewarm body: script URLs (paths
+// resolved against the origin; absolute URLs must be on the origin)
+// and/or inline sources to rewrite into the cache ahead of traffic.
+type PrewarmRequest struct {
+	URLs    []string `json:"urls"`
+	Sources []string `json:"sources"`
+}
+
+// PrewarmItem is one entry's outcome in the prewarm response.
+type PrewarmItem struct {
+	// Target is the URL, or "source[i]" for inline sources.
+	Target string `json:"target"`
+	// Status is "ok" (rewritten or already cached), "saturated" (the
+	// pipeline shed it — re-POST later), or "failed".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// PrewarmResponse summarizes a prewarm batch.
+type PrewarmResponse struct {
+	OK        int           `json:"ok"`
+	Saturated int           `json:"saturated"`
+	Failed    int           `json:"failed"`
+	Items     []PrewarmItem `json:"items"`
+}
+
+// prewarmMaxItems bounds one batch; operators split larger sets.
+const prewarmMaxItems = 1024
+
+// prewarmFetchers bounds concurrent origin fetches. The rewrite side
+// needs no extra bound — pipeline admission is the backpressure.
+const prewarmFetchers = 8
+
+// handlePrewarm fans a batch of scripts through the rewrite path so the
+// cache is hot before real traffic arrives. Rewrites ride the same
+// scheduler pipeline as live requests, so a prewarm competes under the
+// same admission bound and reports per-item saturation instead of
+// stampeding the pool.
+func (p *Proxy) handlePrewarm(w http.ResponseWriter, r *http.Request) {
+	if p.Cache == nil {
+		http.Error(w, "proxy: prewarm requires a cache", http.StatusConflict)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req PrewarmRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "proxy: prewarm body must be JSON {urls, sources}", http.StatusBadRequest)
+		return
+	}
+	n := len(req.URLs) + len(req.Sources)
+	if n == 0 {
+		http.Error(w, "proxy: prewarm body names no scripts", http.StatusBadRequest)
+		return
+	}
+	if n > prewarmMaxItems {
+		http.Error(w, fmt.Sprintf("proxy: prewarm batch over %d items", prewarmMaxItems), http.StatusBadRequest)
+		return
+	}
+
+	items := make([]PrewarmItem, n)
+	sem := make(chan struct{}, prewarmFetchers)
+	var wg sync.WaitGroup
+	warm := func(i int, target string, src []byte, fetchErr error) {
+		defer wg.Done()
+		items[i].Target = target
+		if fetchErr != nil {
+			items[i].Status = "failed"
+			items[i].Error = fetchErr.Error()
+			return
+		}
+		_, _, err := p.Cache.RewriteTimed(src, p.Mode)
+		switch {
+		case errors.Is(err, sched.ErrSaturated):
+			items[i].Status = "saturated"
+		case err != nil:
+			items[i].Status = "failed"
+			items[i].Error = err.Error()
+		default:
+			items[i].Status = "ok"
+		}
+	}
+	for i, raw := range req.URLs {
+		wg.Add(1)
+		go func(i int, raw string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			src, err := p.fetchScript(r, raw)
+			warm(i, raw, src, err)
+		}(i, raw)
+	}
+	for i, src := range req.Sources {
+		wg.Add(1)
+		go func(i int, src string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			warm(len(req.URLs)+i, fmt.Sprintf("source[%d]", i), []byte(src), nil)
+		}(i, src)
+	}
+	wg.Wait()
+
+	var resp PrewarmResponse
+	resp.Items = items
+	for _, it := range items {
+		switch it.Status {
+		case "ok":
+			resp.OK++
+		case "saturated":
+			resp.Saturated++
+		default:
+			resp.Failed++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// prewarmMaxScriptBytes caps one fetched script — the same order as
+// the whole-batch body limit, so a hostile or misconfigured target
+// cannot balloon proxy memory through 8 concurrent fetchers.
+const prewarmMaxScriptBytes = 8 << 20
+
+// fetchScript retrieves one prewarm target. Targets are confined to
+// the configured origin: a path is resolved against it, and an
+// absolute URL must match the origin's scheme and host — prewarm is a
+// cache-warming endpoint, not a generic fetcher, and must not let an
+// unauthenticated client aim the proxy's network position at internal
+// addresses.
+func (p *Proxy) fetchScript(r *http.Request, raw string) ([]byte, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: prewarm url: %w", err)
+	}
+	if u.IsAbs() && (u.Scheme != p.Origin.Scheme || u.Host != p.Origin.Host) {
+		return nil, fmt.Errorf("proxy: prewarm url %q is not on the origin %s", raw, p.Origin.Host)
+	}
+	up := *p.Origin
+	up.Path = u.Path
+	up.RawPath = u.RawPath
+	up.RawQuery = u.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, up.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy: prewarm fetch %s: status %d", up.String(), resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, prewarmMaxScriptBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > prewarmMaxScriptBytes {
+		return nil, fmt.Errorf("proxy: prewarm fetch %s: script over %d bytes", up.String(), prewarmMaxScriptBytes)
+	}
+	return body, nil
 }
 
 func (p *Proxy) handleResults(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/study"
 	"repro/internal/survey"
@@ -218,6 +219,46 @@ func ScaleFigure(title, leftLabel, rightLabel string, h survey.ScaleHistogram) s
 	}
 	fmt.Fprintf(&sb, "1 = %s ... 5 = %s; %d answers\n", leftLabel, rightLabel, h.Total)
 	return sb.String()
+}
+
+// ServingRow is one client-count round of the proxy load harness
+// (cmd/loadgen): throughput, latency and queue-wait percentiles, and
+// the cache/backpressure counters for that round.
+type ServingRow struct {
+	Clients        int
+	ReqPerSec      float64
+	RewritesPerSec float64
+	P50, P99       time.Duration
+	// QWaitP50/QWaitP99 are admission queue waits (the proxy's
+	// X-Ceres-Queue-Wait header) across the round's 200 responses.
+	QWaitP50, QWaitP99 time.Duration
+	// Rejected counts 429 responses — requests shed by backpressure.
+	Rejected                          int64
+	Hits, Misses, Coalesced, Failures int64
+}
+
+// Serving renders the serving-ladder table: one row per client count.
+// The shape to read for: req/s scaling with clients while q-wait p99
+// stays bounded; when the pipeline saturates, rejected grows instead of
+// p99 (backpressure sheds load rather than stretching the tail).
+func Serving(title string, rows []ServingRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "clients\treq/s\trewrites/s\tp50\tp99\tq-wait p50\tq-wait p99\trejected\thits\tmisses\tcoalesced\tfailures\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.1f\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t\n",
+			r.Clients, r.ReqPerSec, r.RewritesPerSec,
+			fmtShortDur(r.P50), fmtShortDur(r.P99),
+			fmtShortDur(r.QWaitP50), fmtShortDur(r.QWaitP99),
+			r.Rejected, r.Hits, r.Misses, r.Coalesced, r.Failures)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+func fmtShortDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
 }
 
 // Fortuna renders the task-level limit-study baseline.

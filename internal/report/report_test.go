@@ -3,6 +3,7 @@ package report
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/study"
@@ -108,5 +109,24 @@ func TestBarClamping(t *testing.T) {
 	}
 	if got := bar(-5, 10); got != ".........." {
 		t.Errorf("negative bar = %q", got)
+	}
+}
+
+func TestServingRendering(t *testing.T) {
+	rows := []ServingRow{
+		{Clients: 1, ReqPerSec: 8300, RewritesPerSec: 2400, P50: 80 * time.Microsecond,
+			P99: 820 * time.Microsecond, QWaitP50: 10 * time.Microsecond,
+			QWaitP99: 120 * time.Microsecond, Hits: 100, Misses: 40},
+		{Clients: 8, ReqPerSec: 7300, RewritesPerSec: 2600, P50: 990 * time.Microsecond,
+			P99: 2500 * time.Microsecond, QWaitP99: time.Millisecond, Rejected: 37},
+	}
+	out := Serving("loadgen: saturation ladder", rows)
+	for _, want := range []string{"clients", "q-wait p99", "rejected", "8300", "37", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Serving output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("Serving rendered %d lines, want 4 (title + header + 2 rows)", lines)
 	}
 }

@@ -1,0 +1,290 @@
+// The open-ended half of the scheduler. RunPlan (sched.go) schedules a
+// *fixed* index space — the shape of a ParallelArray operation or a
+// study grid, where the whole plan is known up front. A serving system
+// has the opposite shape: an unbounded stream of requests arriving at
+// unknown times, where the thing that must be bounded is not the plan
+// but the *admission* — how much work is allowed to be outstanding at
+// once. Queue is that entry point: a long-lived worker pool with a
+// bounded admission queue, explicit saturation (ErrSaturated, never an
+// unbounded goroutine-per-request), and continuation jobs so a single
+// admission can flow through multiple pipeline stages without holding a
+// worker hostage between them.
+package sched
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by Queue.Submit when the admission bound is
+// reached: the caller must shed load (HTTP 429, retry later) instead of
+// queueing without limit. It is a sentinel — match with errors.Is.
+var ErrSaturated = errors.New("sched: queue saturated")
+
+// ErrClosed is returned by Queue.Submit after Close.
+var ErrClosed = errors.New("sched: queue closed")
+
+// Job is one unit of queued work. The worker index has the same
+// contract as BodyFunc's: each index is serviced by a single goroutine
+// for the queue's lifetime, so per-worker state needs no locking.
+type Job func(w *WorkerCtx)
+
+// WorkerCtx is passed to every job: the worker index it runs on, plus
+// Spawn for continuations.
+type WorkerCtx struct {
+	// Worker is the pool worker index in [0, Workers).
+	Worker int
+	q      *Queue
+	t      *ticket
+}
+
+// Spawn enqueues a continuation of the current job under the *same*
+// admission ticket: it can never be rejected (the admission decision
+// was made at Submit) and it runs before newly-admitted jobs, so
+// pipelines drain from the back. Jobs must use Spawn — never a blocking
+// wait on another queue job — to hand work forward; a job that blocks
+// on queue-scheduled work can deadlock the pool.
+func (w *WorkerCtx) Spawn(fn Job) {
+	w.t.refs.Add(1)
+	w.q.enqueue(&task{fn: fn, t: w.t}, true)
+}
+
+// ticket is one admission: refs counts the not-yet-finished jobs in its
+// continuation tree; the admission slot frees when it hits zero.
+type ticket struct {
+	refs atomic.Int64
+}
+
+type task struct {
+	fn  Job
+	t   *ticket
+	enq time.Time // set for admitted roots; zero for continuations
+}
+
+// waitRingSize bounds the queue-wait sample ring (recent admissions
+// only — percentiles describe current behaviour, not all history).
+const waitRingSize = 1024
+
+// Queue is a long-lived worker pool with bounded admission. Safe for
+// concurrent use.
+type Queue struct {
+	workers int
+	depth   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	high    []*task // continuations: drain first
+	low     []*task // admitted roots
+	closed  bool
+	running int // jobs currently executing
+	tickets int // admissions whose continuation tree has not finished
+
+	submitted int64
+	rejected  int64
+	spawned   int64
+	completed int64
+	maxQueued int
+
+	waits  [waitRingSize]time.Duration
+	waitN  int64 // total waits recorded (ring index = waitN % size)
+	waitNs int64 // sum of all waits, for the mean
+	wg     sync.WaitGroup
+}
+
+// QueueStats is a point-in-time snapshot of the queue counters.
+type QueueStats struct {
+	// Workers and Depth echo the construction parameters.
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+	// Submitted/Rejected count Submit calls (admitted vs ErrSaturated);
+	// Spawned counts continuations; Completed counts jobs executed.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Spawned   int64 `json:"spawned"`
+	Completed int64 `json:"completed"`
+	// InFlight is the number of admission tickets currently held.
+	InFlight int `json:"in_flight"`
+	// MaxQueued is the high-water mark of queued (not yet running) jobs.
+	MaxQueued int `json:"max_queued"`
+	// QueueWait* describe the time admitted roots spent queued before
+	// their first stage started: the mean is over the queue's whole
+	// history, the percentiles and max over the last waitRingSize
+	// admissions (recent behaviour, which is what an operator tunes on).
+	QueueWaitMean time.Duration `json:"queue_wait_mean_ns"`
+	QueueWaitP50  time.Duration `json:"queue_wait_p50_ns"`
+	QueueWaitP99  time.Duration `json:"queue_wait_p99_ns"`
+	QueueWaitMax  time.Duration `json:"queue_wait_max_ns"`
+}
+
+// NewQueue starts a pool of `workers` goroutines (<= 0 → 1) accepting
+// at most `depth` outstanding admissions (<= 0 → workers*2). Callers
+// must Close it when done.
+func NewQueue(workers, depth int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = workers * 2
+	}
+	q := &Queue{workers: workers, depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go q.work(w)
+	}
+	return q
+}
+
+// Workers returns the pool size.
+func (q *Queue) Workers() int { return q.workers }
+
+// Depth returns the admission bound.
+func (q *Queue) Depth() int { return q.depth }
+
+// Submit admits fn, or reports ErrSaturated when `depth` admissions are
+// already outstanding (an admission stays outstanding until its whole
+// continuation tree finishes). Submit never blocks: backpressure is the
+// caller's to surface, immediately.
+func (q *Queue) Submit(fn Job) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	if q.tickets >= q.depth {
+		q.rejected++
+		q.mu.Unlock()
+		return ErrSaturated
+	}
+	q.tickets++
+	q.submitted++
+	t := &ticket{}
+	t.refs.Store(1)
+	q.enqueueLocked(&task{fn: fn, t: t, enq: time.Now()}, false)
+	q.mu.Unlock()
+	return nil
+}
+
+func (q *Queue) enqueue(tk *task, cont bool) {
+	q.mu.Lock()
+	q.enqueueLocked(tk, cont)
+	q.mu.Unlock()
+}
+
+func (q *Queue) enqueueLocked(tk *task, cont bool) {
+	if cont {
+		q.spawned++
+		q.high = append(q.high, tk)
+	} else {
+		q.low = append(q.low, tk)
+	}
+	if n := len(q.high) + len(q.low); n > q.maxQueued {
+		q.maxQueued = n
+	}
+	q.cond.Signal()
+}
+
+func (q *Queue) work(w int) {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.high) == 0 && len(q.low) == 0 && !(q.closed && q.running == 0) {
+			q.cond.Wait()
+		}
+		var tk *task
+		switch {
+		case len(q.high) > 0:
+			tk = q.high[0]
+			q.high = q.high[1:]
+		case len(q.low) > 0:
+			tk = q.low[0]
+			q.low = q.low[1:]
+			q.recordWaitLocked(time.Since(tk.enq))
+		default:
+			// closed, queues empty, nothing running that could spawn.
+			q.mu.Unlock()
+			return
+		}
+		q.running++
+		q.mu.Unlock()
+
+		runJob(tk.fn, &WorkerCtx{Worker: w, q: q, t: tk.t})
+
+		q.mu.Lock()
+		q.running--
+		q.completed++
+		if tk.t.refs.Add(-1) == 0 {
+			q.tickets--
+		}
+		if q.closed && q.running == 0 && len(q.high) == 0 && len(q.low) == 0 {
+			// Wake parked siblings so they can observe the exit condition.
+			q.cond.Broadcast()
+		}
+		q.mu.Unlock()
+	}
+}
+
+// runJob contains a panicking job so one bad input cannot kill a
+// shared worker or corrupt the queue's ticket accounting. Containment
+// is all the queue can do — it cannot deliver a result on the job's
+// behalf, so jobs that report through channels or callbacks must
+// install their own recover (as the proxy pipeline's stages do) or
+// their waiters hang.
+func runJob(fn Job, w *WorkerCtx) {
+	defer func() { _ = recover() }()
+	fn(w)
+}
+
+func (q *Queue) recordWaitLocked(d time.Duration) {
+	q.waits[q.waitN%waitRingSize] = d
+	q.waitN++
+	q.waitNs += int64(d)
+}
+
+// Close stops admission immediately (Submit returns ErrClosed), lets
+// queued jobs and their continuations finish, and waits for the workers
+// to exit.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// Stats snapshots the counters under one lock.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := QueueStats{
+		Workers:   q.workers,
+		Depth:     q.depth,
+		Submitted: q.submitted,
+		Rejected:  q.rejected,
+		Spawned:   q.spawned,
+		Completed: q.completed,
+		InFlight:  q.tickets,
+		MaxQueued: q.maxQueued,
+	}
+	n := q.waitN
+	if n > waitRingSize {
+		n = waitRingSize
+	}
+	if n > 0 {
+		sample := make([]time.Duration, n)
+		copy(sample, q.waits[:n])
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		st.QueueWaitP50 = sample[len(sample)*50/100]
+		p99 := len(sample) * 99 / 100
+		if p99 >= len(sample) {
+			p99 = len(sample) - 1
+		}
+		st.QueueWaitP99 = sample[p99]
+		st.QueueWaitMax = sample[len(sample)-1]
+		st.QueueWaitMean = time.Duration(q.waitNs / q.waitN)
+	}
+	return st
+}
