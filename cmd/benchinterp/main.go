@@ -1,0 +1,258 @@
+// Command benchinterp measures the interpreter engines against each
+// other and persists the result as machine-readable BENCH_interp.json —
+// the first entry of the repo's perf trajectory. Each ModeExec kernel
+// (the ParallelArray-convertible hot loops of the case study) runs
+// through internal/parallel at a ladder of worker counts on both the
+// tree-walking evaluator and the compiled one (interp.SetCompile);
+// per-rung medians, min/max noise bounds and the treewalk/compiled
+// speedup land in the JSON.
+//
+// Usage:
+//
+//	benchinterp [-out=BENCH_interp.json] [-reps=5] [-scale=1] [-check]
+//
+// -reps is the number of timed repetitions per (kernel, workers,
+// engine) cell after one warmup; medians are reported with min/max so
+// noise is visible, and overlapping noise intervals are flagged
+// honestly per rung (noise_overlap) rather than hidden.
+// -scale divides kernel element counts like casestudy -scale.
+// -check validates the -out file against the bench-interp/v1 schema
+// and exits non-zero on violations (the CI smoke).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/js/interp"
+	"repro/internal/js/value"
+	"repro/internal/parallel"
+	"repro/internal/workloads"
+)
+
+// Schema is the persisted format identifier; bump on breaking change.
+const Schema = "bench-interp/v1"
+
+// Stat is one timing cell: median over reps with the noise bounds.
+type Stat struct {
+	MedianMS float64 `json:"median_ms"`
+	MinMS    float64 `json:"min_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// Rung is one (kernel, workers) measurement on both engines.
+type Rung struct {
+	Workers  int  `json:"workers"`
+	TreeWalk Stat `json:"treewalk"`
+	Compiled Stat `json:"compiled"`
+	// Speedup is treewalk median / compiled median (> 1 means the
+	// compiled engine wins).
+	Speedup float64 `json:"speedup"`
+	// NoiseOverlap reports whether the two engines' [min, max] intervals
+	// overlap — when true, the speedup is within measurement noise.
+	NoiseOverlap bool `json:"noise_overlap"`
+}
+
+// KernelResult is the ladder for one ModeExec kernel.
+type KernelResult struct {
+	App   string `json:"app"`
+	Loop  string `json:"loop"`
+	N     int    `json:"n"`
+	Rungs []Rung `json:"rungs"`
+}
+
+// Summary condenses the file for trajectory plots and CI assertions.
+type Summary struct {
+	MinSpeedup    float64 `json:"min_speedup"`
+	MedianSpeedup float64 `json:"median_speedup"`
+	// AllCompiledFaster is true when every rung's speedup exceeds 1.
+	AllCompiledFaster bool `json:"all_compiled_faster"`
+}
+
+// File is the full bench-interp/v1 document.
+type File struct {
+	Schema  string         `json:"schema"`
+	Scale   int            `json:"scale"`
+	Reps    int            `json:"reps"`
+	Workers []int          `json:"workers"`
+	Kernels []KernelResult `json:"kernels"`
+	Summary Summary        `json:"summary"`
+}
+
+var workerLadder = []int{1, 2, 4, 8}
+
+func main() {
+	out := flag.String("out", "BENCH_interp.json", "output path for the bench document")
+	reps := flag.Int("reps", 5, "timed repetitions per cell (after one warmup)")
+	scale := flag.Int("scale", 1, "divide kernel element counts by N")
+	check := flag.Bool("check", false, "validate the -out file against the schema and exit non-zero on violations (the CI smoke)")
+	flag.Parse()
+
+	if *check {
+		if err := checkFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchinterp: check %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchinterp: %s conforms to %s\n", *out, Schema)
+		return
+	}
+
+	workloads.SetScale(workloads.Scale{Div: *scale})
+	doc, err := run(*reps, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchinterp: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchinterp: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchinterp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchinterp: wrote %s (min speedup %.2fx, median %.2fx, all compiled faster: %v)\n",
+		*out, doc.Summary.MinSpeedup, doc.Summary.MedianSpeedup, doc.Summary.AllCompiledFaster)
+}
+
+// buildKernel adapts one ModeExec kernel to the parallel.Kernel shape:
+// the prelude plus the elemental wrapped as kernel(i) over a per-worker
+// copy of the input array.
+func buildKernel(ek workloads.ExecKernel, n int, treeWalk bool) *parallel.Kernel {
+	src := ek.Prelude + "\nvar __elemental = " + ek.Elemental + ";\n" +
+		"function kernel(i) { return __elemental(__input[i], i); }\n"
+	return &parallel.Kernel{
+		Source: src,
+		Setup: func(in *interp.Interp) error {
+			elems := make([]value.Value, n)
+			for i := range elems {
+				elems[i] = value.Number(ek.Input(i))
+			}
+			in.SetGlobal("__input", value.ObjectVal(in.NewArray(elems...)))
+			return nil
+		},
+		Seed:     7,
+		TreeWalk: treeWalk,
+	}
+}
+
+func run(reps, scale int) (*File, error) {
+	doc := &File{Schema: Schema, Scale: scale, Reps: reps, Workers: workerLadder}
+	var speedups []float64
+	all := true
+	for _, ek := range workloads.ExecKernels() {
+		n := workloads.CurrentScale().N(ek.N)
+		kr := KernelResult{App: ek.App, Loop: ek.Loop, N: n}
+		for _, w := range workerLadder {
+			tw, err := timeEngine(ek, n, w, true, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s treewalk w=%d: %w", ek.App, ek.Loop, w, err)
+			}
+			cp, err := timeEngine(ek, n, w, false, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s compiled w=%d: %w", ek.App, ek.Loop, w, err)
+			}
+			r := Rung{Workers: w, TreeWalk: tw, Compiled: cp}
+			if cp.MedianMS > 0 {
+				r.Speedup = tw.MedianMS / cp.MedianMS
+			}
+			r.NoiseOverlap = cp.MaxMS >= tw.MinMS
+			if r.Speedup <= 1 {
+				all = false
+			}
+			speedups = append(speedups, r.Speedup)
+			kr.Rungs = append(kr.Rungs, r)
+		}
+		doc.Kernels = append(doc.Kernels, kr)
+	}
+	sort.Float64s(speedups)
+	if len(speedups) > 0 {
+		doc.Summary.MinSpeedup = speedups[0]
+		doc.Summary.MedianSpeedup = speedups[len(speedups)/2]
+	}
+	doc.Summary.AllCompiledFaster = all
+	return doc, nil
+}
+
+// timeEngine measures one cell: MapParallel over the kernel at the
+// given worker count, reps times after a warmup.
+func timeEngine(ek workloads.ExecKernel, n, workers int, treeWalk bool, reps int) (Stat, error) {
+	k := buildKernel(ek, n, treeWalk)
+	var samples []float64
+	for rep := 0; rep <= reps; rep++ {
+		t0 := time.Now()
+		res, err := k.MapParallel(n, workers)
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			return Stat{}, err
+		}
+		if len(res.Values) != n {
+			return Stat{}, fmt.Errorf("short result: %d of %d", len(res.Values), n)
+		}
+		if rep == 0 {
+			continue // warmup covers parse+compile cache population
+		}
+		samples = append(samples, ms)
+	}
+	sort.Float64s(samples)
+	return Stat{
+		MedianMS: samples[len(samples)/2],
+		MinMS:    samples[0],
+		MaxMS:    samples[len(samples)-1],
+	}, nil
+}
+
+// checkFile validates a bench document against the v1 schema.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.Schema != Schema {
+		return fmt.Errorf("schema = %q, want %q", doc.Schema, Schema)
+	}
+	if doc.Reps < 1 {
+		return fmt.Errorf("reps = %d, want >= 1", doc.Reps)
+	}
+	if len(doc.Workers) == 0 {
+		return fmt.Errorf("empty worker ladder")
+	}
+	if len(doc.Kernels) == 0 {
+		return fmt.Errorf("no kernels measured")
+	}
+	for _, k := range doc.Kernels {
+		if k.App == "" || k.Loop == "" || k.N <= 0 {
+			return fmt.Errorf("kernel %q/%q: incomplete identity", k.App, k.Loop)
+		}
+		if len(k.Rungs) != len(doc.Workers) {
+			return fmt.Errorf("kernel %s/%s: %d rungs for %d worker counts", k.App, k.Loop, len(k.Rungs), len(doc.Workers))
+		}
+		for i, r := range k.Rungs {
+			if r.Workers != doc.Workers[i] {
+				return fmt.Errorf("kernel %s/%s rung %d: workers %d, ladder says %d", k.App, k.Loop, i, r.Workers, doc.Workers[i])
+			}
+			for _, s := range []Stat{r.TreeWalk, r.Compiled} {
+				if s.MedianMS <= 0 || s.MinMS <= 0 || s.MaxMS < s.MinMS || s.MedianMS < s.MinMS || s.MedianMS > s.MaxMS {
+					return fmt.Errorf("kernel %s/%s w=%d: inconsistent stat %+v", k.App, k.Loop, r.Workers, s)
+				}
+			}
+			if r.Speedup <= 0 {
+				return fmt.Errorf("kernel %s/%s w=%d: speedup %v", k.App, k.Loop, r.Workers, r.Speedup)
+			}
+		}
+	}
+	if doc.Summary.MinSpeedup <= 0 || doc.Summary.MedianSpeedup < doc.Summary.MinSpeedup {
+		return fmt.Errorf("inconsistent summary %+v", doc.Summary)
+	}
+	return nil
+}

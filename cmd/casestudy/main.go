@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	casestudy [-table=all|1|2|3|amdahl|fortuna|exec] [-exec] [-scale=N] [-seed=N] [-workers=N] [-timing] [-minchunk=N] [-chunkdiv=N]
+//	casestudy [-table=all|1|2|3|amdahl|fortuna|exec] [-exec] [-scale=N] [-seed=N] [-workers=N] [-timing] [-minchunk=N] [-chunkdiv=N] [-engine=compiled|treewalk]
 //
 // -scale divides workload sizes (1 = full Table 2/3 configuration).
 // -workers sizes the work-stealing scheduler's goroutine pool
@@ -25,6 +25,10 @@
 // contract); the knobs move chunk boundaries, so runs at *different*
 // settings are only comparable for map/filter kernels or associative
 // reductions.
+// -engine selects the interpreter for -exec: "compiled" (default — the
+// pre-resolved evaluator) or "treewalk"; outputs are identical either
+// way (the differential conformance suite enforces it), only wall-clock
+// numbers move. Use it for before/after engine ladders (EXPERIMENTS.md).
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 	timing := flag.Bool("timing", false, "print per-job and total wall-clock times to stderr")
 	minChunk := flag.Int("minchunk", 0, "scheduler knob: smallest chunk of the geometric plan (0 = default)")
 	chunkDiv := flag.Int("chunkdiv", 0, "scheduler knob: chunk-size divisor, chunks cover remaining/chunkdiv elements (0 = default)")
+	engine := flag.String("engine", "compiled", "interpreter engine for -exec: compiled (pre-resolved evaluator) or treewalk")
 	flag.Parse()
 
 	switch *table {
@@ -69,6 +74,14 @@ func main() {
 			counts = []int{1, *workers}
 		}
 		study.SetExecTuning(*minChunk, *chunkDiv)
+		switch *engine {
+		case "compiled":
+			study.SetExecEngine(false)
+		case "treewalk":
+			study.SetExecEngine(true)
+		default:
+			fatal(fmt.Errorf("unknown -engine=%s (want compiled or treewalk)", *engine))
+		}
 		rows, measured, err := study.RunExecAll(*seed, counts)
 		if err != nil {
 			fatal(err)

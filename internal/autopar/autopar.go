@@ -72,6 +72,12 @@ type Options struct {
 	// combiner (Verify catches the rest).
 	MinChunk     int
 	ChunkDivisor int
+	// TreeWalk runs dispatched workers on the tree-walking evaluator
+	// instead of the compiled one (parallel.Kernel.TreeWalk). Speculation
+	// outcomes are identical either way — the guard-parity tests hold the
+	// two engines to the same hook stream — so this is a bench/bisect
+	// toggle, not a semantics knob.
+	TreeWalk bool
 }
 
 // schedOptions maps the speculation options onto the scheduler's.
@@ -442,6 +448,7 @@ func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value
 		sequentialRemainder(in, fn, elems, base, out, coerce, &oc)
 		return oc
 	}
+	pl.kernel.TreeWalk = opts.TreeWalk
 
 	stats, fault := pl.dispatch(opts.schedOptions(), out)
 	oc.Chunks, oc.Steals = stats.Chunks, stats.Steals
@@ -602,6 +609,7 @@ func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init val
 		oc.AbortReason = "aborted parallel plan: " + abort
 		return foldRemainder(in, fn, acc, elems, base, &oc), oc
 	}
+	pl.kernel.TreeWalk = opts.TreeWalk
 
 	partials, starts, stats, fault := pl.reduceDispatch(opts.schedOptions())
 	oc.Chunks, oc.Steals = stats.Chunks, stats.Steals

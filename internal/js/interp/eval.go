@@ -342,43 +342,10 @@ func (in *Interp) evalBinary(x *ast.BinaryExpr, env *Scope) value.Value {
 
 // applyBinary applies a (non-logical) binary operator.
 func (in *Interp) applyBinary(op token.Type, l, r value.Value) value.Value {
+	if v, ok := applyBinaryPure(op, l, r); ok {
+		return v
+	}
 	switch op {
-	case token.PLUS:
-		if l.IsString() || r.IsString() ||
-			(l.IsObject() && !l.IsCallable()) || (r.IsObject() && !r.IsCallable()) {
-			return value.String(l.ToString() + r.ToString())
-		}
-		return value.Number(l.ToNumber() + r.ToNumber())
-	case token.MINUS:
-		return value.Number(l.ToNumber() - r.ToNumber())
-	case token.STAR:
-		return value.Number(l.ToNumber() * r.ToNumber())
-	case token.SLASH:
-		return value.Number(l.ToNumber() / r.ToNumber())
-	case token.PERCENT:
-		return value.Number(math.Mod(l.ToNumber(), r.ToNumber()))
-	case token.LT, token.GT, token.LE, token.GE:
-		return in.compare(op, l, r)
-	case token.EQ:
-		return value.Bool(value.LooseEquals(l, r))
-	case token.NEQ:
-		return value.Bool(!value.LooseEquals(l, r))
-	case token.STRICTEQ:
-		return value.Bool(value.StrictEquals(l, r))
-	case token.STRICTNE:
-		return value.Bool(!value.StrictEquals(l, r))
-	case token.AND:
-		return value.Number(float64(l.ToInt32() & r.ToInt32()))
-	case token.OR:
-		return value.Number(float64(l.ToInt32() | r.ToInt32()))
-	case token.XOR:
-		return value.Number(float64(l.ToInt32() ^ r.ToInt32()))
-	case token.SHL:
-		return value.Number(float64(l.ToInt32() << (r.ToUint32() & 31)))
-	case token.SHR:
-		return value.Number(float64(l.ToInt32() >> (r.ToUint32() & 31)))
-	case token.USHR:
-		return value.Number(float64(l.ToUint32() >> (r.ToUint32() & 31)))
 	case token.IN:
 		if !r.IsObject() {
 			in.throwError("TypeError", "'in' requires an object")
@@ -390,7 +357,54 @@ func (in *Interp) applyBinary(op token.Type, l, r value.Value) value.Value {
 	panic(&fatal{fmt.Errorf("interp: unknown binary op %s", op)})
 }
 
-func (in *Interp) compare(op token.Type, l, r value.Value) value.Value {
+// applyBinaryPure applies the side-effect-free binary operators — every
+// operator except `in`/`instanceof`, which consult objects and can
+// throw. The compiler's constant folder (compile.go) relies on this
+// split: a pure operator on constants is safe to evaluate at compile
+// time.
+func applyBinaryPure(op token.Type, l, r value.Value) (value.Value, bool) {
+	switch op {
+	case token.PLUS:
+		if l.IsString() || r.IsString() ||
+			(l.IsObject() && !l.IsCallable()) || (r.IsObject() && !r.IsCallable()) {
+			return value.String(l.ToString() + r.ToString()), true
+		}
+		return value.Number(l.ToNumber() + r.ToNumber()), true
+	case token.MINUS:
+		return value.Number(l.ToNumber() - r.ToNumber()), true
+	case token.STAR:
+		return value.Number(l.ToNumber() * r.ToNumber()), true
+	case token.SLASH:
+		return value.Number(l.ToNumber() / r.ToNumber()), true
+	case token.PERCENT:
+		return value.Number(math.Mod(l.ToNumber(), r.ToNumber())), true
+	case token.LT, token.GT, token.LE, token.GE:
+		return compareOp(op, l, r), true
+	case token.EQ:
+		return value.Bool(value.LooseEquals(l, r)), true
+	case token.NEQ:
+		return value.Bool(!value.LooseEquals(l, r)), true
+	case token.STRICTEQ:
+		return value.Bool(value.StrictEquals(l, r)), true
+	case token.STRICTNE:
+		return value.Bool(!value.StrictEquals(l, r)), true
+	case token.AND:
+		return value.Number(float64(l.ToInt32() & r.ToInt32())), true
+	case token.OR:
+		return value.Number(float64(l.ToInt32() | r.ToInt32())), true
+	case token.XOR:
+		return value.Number(float64(l.ToInt32() ^ r.ToInt32())), true
+	case token.SHL:
+		return value.Number(float64(l.ToInt32() << (r.ToUint32() & 31))), true
+	case token.SHR:
+		return value.Number(float64(l.ToInt32() >> (r.ToUint32() & 31))), true
+	case token.USHR:
+		return value.Number(float64(l.ToUint32() >> (r.ToUint32() & 31))), true
+	}
+	return value.Value{}, false
+}
+
+func compareOp(op token.Type, l, r value.Value) value.Value {
 	if l.IsString() && r.IsString() {
 		switch op {
 		case token.LT:
@@ -521,6 +535,13 @@ func (in *Interp) evalNew(x *ast.NewExpr, env *Scope) value.Value {
 	for i, a := range x.Args {
 		args[i] = in.evalExpr(a, env)
 	}
+	return in.construct(fn, args)
+}
+
+// construct runs `new fn(args...)` once the callee has been checked
+// callable and the arguments evaluated. Shared by the tree walk and the
+// compiled path (compile.go).
+func (in *Interp) construct(fn value.Value, args []value.Value) value.Value {
 	fo := fn.Object()
 	// Builtin constructors (Array, Object, Error...) construct directly.
 	if fo.Fn.Native != nil {

@@ -69,6 +69,11 @@ type Binding struct {
 type Scope struct {
 	vars   map[string]*Binding
 	parent *Scope
+	// layout/slots hold compiled frames (slots.go): names resolve through
+	// fixed indices into slots instead of the map. vars stays nil on such
+	// scopes unless a dynamic declaration lands on them.
+	layout *scopeLayout
+	slots  []*Binding
 }
 
 // NewScope returns a child scope of parent.
@@ -78,11 +83,19 @@ func NewScope(parent *Scope) *Scope {
 
 // Lookup resolves name through the scope chain, returning nil when the
 // name is unbound. Host-side analyzers (internal/autopar's closure
-// capture) use it to read the environment of an interpreted function.
+// capture) use it to read the environment of an interpreted function;
+// it resolves through compiled slot frames and map scopes alike.
 func (s *Scope) Lookup(name string) *Binding { return s.lookup(name) }
 
 func (s *Scope) lookup(name string) *Binding {
 	for sc := s; sc != nil; sc = sc.parent {
+		if sc.layout != nil {
+			if i, ok := sc.layout.index[name]; ok {
+				if b := sc.slots[i]; b != nil {
+					return b
+				}
+			}
+		}
 		if b, ok := sc.vars[name]; ok {
 			return b
 		}
@@ -90,8 +103,21 @@ func (s *Scope) lookup(name string) *Binding {
 	return nil
 }
 
+// ownBinding returns the binding declared directly on this scope (slot
+// or map), nil otherwise.
+func (s *Scope) ownBinding(name string) *Binding {
+	if s.layout != nil {
+		if i, ok := s.layout.index[name]; ok {
+			if b := s.slots[i]; b != nil {
+				return b
+			}
+		}
+	}
+	return s.vars[name]
+}
+
 func (s *Scope) declare(name string, v value.Value) *Binding {
-	if b, ok := s.vars[name]; ok {
+	if b := s.ownBinding(name); b != nil {
 		// re-declaration keeps the binding (var x; var x;)
 		if !v.IsUndefined() {
 			b.V = v
@@ -99,6 +125,15 @@ func (s *Scope) declare(name string, v value.Value) *Binding {
 		return b
 	}
 	b := &Binding{Name: name, V: v}
+	if s.layout != nil {
+		if i, ok := s.layout.index[name]; ok {
+			s.slots[i] = b
+			return b
+		}
+	}
+	if s.vars == nil {
+		s.vars = make(map[string]*Binding, 8)
+	}
 	s.vars[name] = b
 	return b
 }
@@ -156,6 +191,18 @@ type Interp struct {
 	// hostOpListener observes substrate operations (DOM mutations, canvas
 	// blits) so analyzers can attribute them to open loops.
 	hostOpListener func(category, op string)
+
+	// compile enables the pre-resolved evaluator (compile.go): Run lowers
+	// programs through the process-wide unit cache and calls dispatch
+	// through compiled function bodies.
+	compile bool
+	// cu is the compiled unit of the program most recently Run in
+	// compiled mode; makeFunction consults it to attach compiled bodies.
+	cu *cunit
+	// gcaches holds per-unit global reference caches — per interpreter,
+	// because a *Binding resolved in one interpreter's Globals means
+	// nothing in another's.
+	gcaches map[*cunit][]*Binding
 }
 
 // SetHostOpListener registers the observer for host (DOM/canvas/event)
@@ -211,6 +258,17 @@ func New(opts ...Option) *Interp {
 // SetHooks installs (or clears, with nil) the instrumentation hooks.
 func (in *Interp) SetHooks(h Hooks) { in.hooks = h }
 
+// SetCompile toggles compiled execution: Run lowers the program to the
+// pre-resolved form (compile.go) and calls dispatch through compiled
+// function bodies. Observable behavior — values, console output, error
+// messages, hook sequences and step counts — is identical to the tree
+// walk (conformance_test.go proves it differentially). Worker
+// interpreters in internal/parallel enable it by default.
+func (in *Interp) SetCompile(on bool) { in.compile = on }
+
+// CompileEnabled reports whether compiled execution is on.
+func (in *Interp) CompileEnabled() bool { return in.compile }
+
 // Hooks returns the installed hooks.
 func (in *Interp) HooksInstalled() Hooks { return in.hooks }
 
@@ -234,6 +292,16 @@ func (in *Interp) Console() []string { return in.console }
 // step advances the interpreter clock and enforces the step budget.
 func (in *Interp) step() {
 	in.steps++
+	if in.steps > in.maxSteps {
+		panic(&fatal{fmt.Errorf("interp: step limit exceeded (%d)", in.maxSteps)})
+	}
+}
+
+// stepN charges the pre-counted cost of a folded constant region at
+// once, preserving exact step parity with the tree walk (the virtual
+// clock is observable through performance.now and Date).
+func (in *Interp) stepN(n int64) {
+	in.steps += n
 	if in.steps > in.maxSteps {
 		panic(&fatal{fmt.Errorf("interp: step limit exceeded (%d)", in.maxSteps)})
 	}
@@ -292,6 +360,20 @@ func (in *Interp) Run(prog *ast.Program) (err error) {
 			err = recoveredToError(r)
 		}
 	}()
+	if in.compile {
+		// Attach the unit before hoisting so hoisted function values get
+		// their compiled bodies.
+		u := unitFor(prog)
+		in.cu = u
+		in.hoistInto(prog.Body, in.Globals)
+		fr := frame{in: in, fscope: in.Globals, scope: in.Globals, gcache: in.gcacheFor(u)}
+		for _, cs := range u.top {
+			if c := cs(&fr); c.kind == ctrlReturn {
+				break
+			}
+		}
+		return nil
+	}
 	in.hoistInto(prog.Body, in.Globals)
 	for _, s := range prog.Body {
 		c := in.execStmt(s, in.Globals)
@@ -375,9 +457,9 @@ func (in *Interp) hoistInto(body []ast.Stmt, env *Scope) {
 }
 
 func (in *Interp) declareVar(env *Scope, name string, v value.Value) *Binding {
-	existing, had := env.vars[name]
+	existing := env.ownBinding(name)
 	b := env.declare(name, v)
-	if in.hooks != nil && (!had || existing != b) {
+	if in.hooks != nil && existing != b {
 		in.hooks.VarDeclare(name, b)
 	}
 	return b
@@ -385,6 +467,11 @@ func (in *Interp) declareVar(env *Scope, name string, v value.Value) *Binding {
 
 func (in *Interp) makeFunction(decl *ast.FuncLit, env *Scope) *value.Object {
 	fn := value.NewFunction(decl.Name, decl.Params, decl, env)
+	if in.cu != nil {
+		if cf, ok := in.cu.funcs[decl]; ok {
+			fn.Fn.Compiled = cf
+		}
+	}
 	if in.hooks != nil {
 		in.hooks.ObjectNew(fn)
 	}
@@ -451,6 +538,10 @@ func (in *Interp) invoke(fnv value.Value, this value.Value, args []value.Value) 
 			in.hooks.CallExit(name)
 		}
 	}()
+
+	if cf, ok := fn.Compiled.(*cfunc); ok && in.compile {
+		return in.callCompiled(cf, fn, this, args)
+	}
 
 	decl := fn.Decl.(*ast.FuncLit)
 	env := NewScope(fn.Env.(*Scope))

@@ -19,11 +19,9 @@ package parallel
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 	"repro/internal/js/value"
 	"repro/internal/sched"
 )
@@ -32,10 +30,12 @@ import (
 // `function kernel(i) { ... return v; }` plus optional setup installing
 // read-only inputs as globals.
 //
-// The source is parsed exactly once per Kernel; the resulting AST is
-// read-only (the interpreter never mutates syntax nodes) and is shared by
-// every worker interpreter, so spinning up a worker costs one interpreter
-// allocation plus one program load, not a re-parse.
+// The source is parsed and compiled exactly once per process through
+// the interpreter's content-addressed caches (interp.Load plus its unit
+// cache), not once per Kernel: two Kernel values with the same Source
+// share one read-only AST and one compiled unit across every worker
+// interpreter. Spinning up a worker costs one interpreter allocation
+// plus one program load, not a re-parse or re-compile.
 type Kernel struct {
 	// Source defines kernel(i) and any helpers/constants it needs.
 	Source string
@@ -45,23 +45,20 @@ type Kernel struct {
 	Setup func(in *interp.Interp) error
 	// Seed for each worker's deterministic Math.random.
 	Seed uint64
-
-	parseOnce sync.Once
-	prog      *ast.Program
-	parseErr  error
+	// TreeWalk opts workers out of compiled execution (interp.SetCompile),
+	// falling back to the tree-walking evaluator. The observable behavior
+	// is identical (the conformance suite proves it); the toggle exists
+	// for the before/after bench ladder and for bisecting engine issues.
+	TreeWalk bool
 }
 
-// program parses Source once and caches the shared read-only AST.
+// program resolves Source through the process-wide parse cache.
 func (k *Kernel) program() (*ast.Program, error) {
-	k.parseOnce.Do(func() {
-		prog, err := parser.Parse(k.Source)
-		if err != nil {
-			k.parseErr = fmt.Errorf("parallel: parse kernel: %w", err)
-			return
-		}
-		k.prog = prog
-	})
-	return k.prog, k.parseErr
+	prog, err := interp.Load(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: parse kernel: %w", err)
+	}
+	return prog, nil
 }
 
 // Result is the outcome of a map execution.
@@ -89,6 +86,9 @@ func (k *Kernel) NewWorker() (*Worker, error) {
 		return nil, err
 	}
 	in := interp.New(interp.WithSeed(k.Seed))
+	if !k.TreeWalk {
+		in.SetCompile(true)
+	}
 	if k.Setup != nil {
 		if err := k.Setup(in); err != nil {
 			return nil, fmt.Errorf("parallel: setup: %w", err)

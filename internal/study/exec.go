@@ -114,7 +114,10 @@ func normalizeCounts(counts []int) []int {
 // shape scheduling granularity only, never output values — but MinChunk
 // and ChunkDivisor move chunk boundaries, so a byte-identity comparison
 // must hold them fixed (RunExecAll does: one setting per run).
-var execTuning = struct{ minChunk, chunkDivisor int }{}
+var execTuning = struct {
+	minChunk, chunkDivisor int
+	treeWalk               bool
+}{}
 
 // SetExecTuning configures the ModeExec scheduler knobs (0 = sched
 // defaults). Call before RunExecAll, like workloads.SetScale.
@@ -122,12 +125,20 @@ func SetExecTuning(minChunk, chunkDivisor int) {
 	execTuning.minChunk, execTuning.chunkDivisor = minChunk, chunkDivisor
 }
 
+// SetExecEngine selects the evaluator for ModeExec runs: compiled
+// (default) or the tree walk (treeWalk = true). Outputs are identical
+// either way — the differential conformance suite holds the engines to
+// byte-identical behavior — so this only moves wall-clock numbers; it
+// exists for the before/after ladder (EXPERIMENTS.md) and bisection.
+func SetExecEngine(treeWalk bool) { execTuning.treeWalk = treeWalk }
+
 // execOptions builds the speculation options for one measured count.
 func execOptions(workers int) autopar.Options {
 	return autopar.Options{
 		Workers:      workers,
 		MinChunk:     execTuning.minChunk,
 		ChunkDivisor: execTuning.chunkDivisor,
+		TreeWalk:     execTuning.treeWalk,
 	}
 }
 
@@ -212,6 +223,12 @@ func execOnce(ek workloads.ExecKernel, n int, seed uint64, opts autopar.Options)
 		return "", rivertrail.Report{}, 0, err
 	}
 	in := interp.New(interp.WithSeed(seed))
+	if !opts.TreeWalk {
+		// The main interpreter runs the profile slice and any sequential
+		// fallback; measuring it on a different engine than the workers
+		// would skew the ladder.
+		in.SetCompile(true)
+	}
 	st := rivertrail.Install(in)
 	st.SetOptions(opts)
 	elems := make([]value.Value, n)
