@@ -14,7 +14,14 @@
 //
 //	ceresproxy -origin http://localhost:8000 -listen :8080 -mode loops \
 //	    -reports ./ceres-reports -cache-bytes 67108864 -shards 8 \
-//	    -rewrite-workers 4 -queue-depth 64 -refresh-ttl 0 -stats
+//	    -rewrite-workers 4 -queue-depth 64 -refresh-ttl 0 \
+//	    -batch-max-wait 500ms -stats
+//
+// Rewrites are classed: live page loads are interactive, prewarm and
+// TTL refreshes are batch. Interactive admissions outrank batch ones,
+// batch work is shed first at saturation, and -batch-max-wait drops
+// batch jobs still queued past the deadline instead of running them
+// stale.
 package main
 
 import (
@@ -42,6 +49,7 @@ func main() {
 	workers := flag.Int("rewrite-workers", 0, "rewrite pipeline worker count (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "max outstanding rewrites before requests are shed with 429 (0 = workers*2)")
 	refreshTTL := flag.Duration("refresh-ttl", 0, "background-refresh hot cache entries nearing this age (0 disables)")
+	batchMaxWait := flag.Duration("batch-max-wait", 0, "shed batch-class rewrites (prewarm, TTL refresh) still queued past this deadline (0 disables)")
 	stats := flag.Bool("stats", true, "serve live counters at /__ceres/stats")
 	flag.Parse()
 
@@ -58,15 +66,16 @@ func main() {
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		RefreshTTL:   *refreshTTL,
+		BatchMaxWait: *batchMaxWait,
 	}
 	p, err := proxy.NewServing(*origin, m, *reports, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	p.StatsEndpoint = *stats
-	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s, cache=%dB x%d shards, workers=%d, queue-depth=%d, refresh-ttl=%s, stats=%v)\n",
+	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s, cache=%dB x%d shards, workers=%d, queue-depth=%d, refresh-ttl=%s, batch-max-wait=%s, stats=%v)\n",
 		*listen, *origin, m, *reports, *cacheBytes, *shards,
-		p.Pipeline.Queue().Workers(), p.Pipeline.Queue().Depth(), formatTTL(*refreshTTL), *stats)
+		p.Pipeline.Queue().Workers(), p.Pipeline.Queue().Depth(), formatTTL(*refreshTTL), formatTTL(*batchMaxWait), *stats)
 
 	// Graceful shutdown: stop accepting, let in-flight requests finish,
 	// then drain the pipeline workers (a bare defer would never run —

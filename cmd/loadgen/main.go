@@ -6,13 +6,12 @@
 // the sharded, pipelined proxy actually scale with concurrent clients,
 // and does it shed load instead of stretching the tail when it can't?
 //
-// The harness is self-contained: it starts a synthetic origin that
-// generates deterministic JavaScript on demand, puts the real serving
-// proxy (internal/proxy over HTTP: sharded cache + staged pipeline with
-// bounded admission) in front of it, and drives both through the
-// loopback TCP stack, so numbers include real serialization cost.
+// The harness (internal/loadharness, shared with cmd/benchproxy) is
+// self-contained: it starts a synthetic origin that generates
+// deterministic JavaScript on demand, puts the real serving proxy in
+// front of it, and drives both through the loopback TCP stack.
 //
-// Three scenarios:
+// Four scenarios:
 //
 //   - mix (default): the hot/unique request blend — the steady-state
 //     cache story.
@@ -22,40 +21,41 @@
 //     while q-wait p99 stays bounded.
 //   - prewarm: POSTs the hot set to /__ceres/prewarm first, then runs
 //     the mix — the hot pool is served from cache from request one.
+//   - priority: a fixed interactive client count (first -clients entry)
+//     against a ladder of -batch-clients background prewarm generators.
+//     Each row splits the admission queue per latency class; the claim
+//     to check is that interactive q-wait p99 stays flat against the
+//     batch-free baseline while batch/s fills residual capacity, and
+//     that at saturation batch sheds strictly before any interactive
+//     429. -assert-flat N turns that claim into an exit code.
 //
 // Usage:
 //
 //	loadgen -clients 1,2,4,8 -requests 400 -hot 16 -unique 0.25 \
 //	    -script-loops 12 -mode light -cache-bytes 67108864 \
 //	    -shards 8 -rewrite-workers 4 -queue-depth 64 -scenario mix
+//
+//	loadgen -scenario priority -clients 4 -batch-clients 0,2,4,8 \
+//	    -requests 300 -rewrite-workers 2 -queue-depth 8 -assert-flat 20
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"hash/fnv"
-	"io"
 	"log"
-	"math/rand"
-	"net"
-	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/instrument"
+	"repro/internal/loadharness"
 	"repro/internal/proxy"
 	"repro/internal/report"
 )
 
 func main() {
-	clientsFlag := flag.String("clients", "1,2,4,8", "comma-separated client goroutine counts")
+	clientsFlag := flag.String("clients", "1,2,4,8", "comma-separated client goroutine counts (priority: first entry only)")
 	requests := flag.Int("requests", 400, "requests per client-count round")
 	hot := flag.Int("hot", 16, "distinct scripts in the repeated (hot) pool")
 	uniqueFrac := flag.Float64("unique", 0.25, "fraction of requests for a never-seen script")
@@ -65,8 +65,12 @@ func main() {
 	shards := flag.Int("shards", proxy.DefaultShards, "cache shard count")
 	workers := flag.Int("rewrite-workers", 0, "rewrite pipeline workers (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "admission bound before 429s (0 = workers*2)")
-	scenario := flag.String("scenario", "mix", "workload scenario: mix, saturation, prewarm")
+	scenario := flag.String("scenario", "mix", "workload scenario: mix, saturation, prewarm, priority")
 	seed := flag.Int64("seed", 7, "deterministic request-mix seed")
+	batchClients := flag.String("batch-clients", "0,2,4,8", "priority scenario: comma-separated batch generator counts, one round each")
+	batchSize := flag.Int("batch-size", 8, "priority scenario: sources per background prewarm POST")
+	batchMaxWait := flag.Duration("batch-max-wait", 500*time.Millisecond, "queue-wait deadline for batch admissions (0 = none)")
+	assertFlat := flag.Float64("assert-flat", 0, "priority scenario: fail unless loaded interactive q-wait p99 <= N x max(baseline, 1ms) and batch sheds before interactive 429s (0 = off)")
 	flag.Parse()
 
 	m, err := instrument.ParseMode(*mode)
@@ -75,27 +79,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	counts, err := parseClients(*clientsFlag)
+	counts, err := parseCounts(*clientsFlag, 1)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		fmt.Fprintf(os.Stderr, "loadgen: bad -clients: %v\n", err)
 		os.Exit(2)
 	}
 	if *hot < 1 {
 		fmt.Fprintln(os.Stderr, "loadgen: -hot must be >= 1 (use -unique 1 for an all-unique mix)")
 		os.Exit(2)
 	}
+	var batchCounts []int
 	switch *scenario {
 	case "mix", "prewarm":
 	case "saturation":
 		// Saturation = no cache reuse: every request pays a rewrite, so
 		// the admission queue is the contended resource.
 		*uniqueFrac = 1.0
+	case "priority":
+		batchCounts, err = parseCounts(*batchClients, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: bad -batch-clients: %v\n", err)
+			os.Exit(2)
+		}
+		if *assertFlat > 0 && batchCounts[0] != 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: -assert-flat needs the first -batch-clients entry to be 0 (the baseline row)")
+			os.Exit(2)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -scenario %q (want mix, saturation or prewarm)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -scenario %q (want mix, saturation, prewarm or priority)\n", *scenario)
 		os.Exit(2)
 	}
 
-	originURL, stopOrigin, err := startOrigin(*scriptLoops)
+	originURL, stopOrigin, err := loadharness.StartOrigin(*scriptLoops)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,272 +120,94 @@ func main() {
 		*scenario, m, *hot, *uniqueFrac*100, *requests, *scriptLoops,
 		*cacheBytes, *shards, *workers, *queueDepth)
 
+	cfg := loadharness.Config{
+		Mode:         m,
+		CacheBytes:   *cacheBytes,
+		Shards:       *shards,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		Scenario:     *scenario,
+		Requests:     *requests,
+		Hot:          *hot,
+		UniqueFrac:   *uniqueFrac,
+		ScriptLoops:  *scriptLoops,
+		Seed:         *seed,
+		BatchSize:    *batchSize,
+		BatchMaxWait: *batchMaxWait,
+	}
+
 	var rows []report.ServingRow
-	for _, c := range counts {
-		row, err := runRound(roundConfig{
-			origin:     originURL,
-			mode:       m,
-			cacheBytes: *cacheBytes,
-			shards:     *shards,
-			workers:    *workers,
-			queueDepth: *queueDepth,
-			scenario:   *scenario,
-			clients:    c,
-			requests:   *requests,
-			hot:        *hot,
-			uniqueFrac: *uniqueFrac,
-			seed:       *seed,
-		})
-		if err != nil {
-			log.Fatal(err)
+	if *scenario == "priority" {
+		cfg.Clients = counts[0]
+		for _, bc := range batchCounts {
+			c := cfg
+			c.BatchClients = bc
+			row, err := loadharness.RunPriorityRound(originURL, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, *row)
 		}
-		rows = append(rows, *row)
+	} else {
+		for _, n := range counts {
+			c := cfg
+			c.Clients = n
+			row, err := loadharness.RunRound(originURL, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, *row)
+		}
 	}
 	fmt.Print(report.Serving(fmt.Sprintf("serving ladder (%s)", *scenario), rows))
+
+	if *scenario == "priority" && *assertFlat > 0 {
+		if err := checkFlat(rows, *assertFlat); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("assert-flat: ok (interactive q-wait p99 within %gx of baseline, batch sheds first)\n", *assertFlat)
+	}
 }
 
-func parseClients(s string) ([]int, error) {
+// checkFlat enforces the two latency-class invariants over a priority
+// ladder whose first row is the batch-free baseline:
+//
+//  1. Flatness — every loaded row's interactive q-wait p99 is within
+//     mult x the baseline's (with a 1ms floor so a near-zero baseline
+//     on a fast machine doesn't make scheduling jitter a failure).
+//  2. Shed order — no row rejects interactive requests unless it also
+//     shed or rejected batch work: batch pays first, always.
+func checkFlat(rows []report.ServingRow, mult float64) error {
+	base := rows[0].QWaitP99
+	if floor := time.Millisecond; base < floor {
+		base = floor
+	}
+	bound := time.Duration(float64(base) * mult)
+	for _, r := range rows[1:] {
+		if r.QWaitP99 > bound {
+			return fmt.Errorf("batch-clients=%d: interactive q-wait p99 %v exceeds %v (%gx of baseline %v)",
+				r.BatchClients, r.QWaitP99, bound, mult, rows[0].QWaitP99)
+		}
+	}
+	for _, r := range rows {
+		if r.Rejected > 0 && r.BatchShed == 0 {
+			return fmt.Errorf("batch-clients=%d: %d interactive 429s with zero batch shed — interactive paid before batch",
+				r.BatchClients, r.Rejected)
+		}
+	}
+	return nil
+}
+
+// parseCounts parses a comma-separated int list with a per-entry floor.
+func parseCounts(s string, min int) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -clients entry %q", f)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad entry %q (min %d)", f, min)
 		}
 		out = append(out, n)
 	}
 	return out, nil
-}
-
-// startOrigin serves deterministic generated JavaScript: any /*.js path
-// yields a distinct-but-reproducible script whose content is derived
-// from the path, so the hot pool repeats byte-identically and unique
-// paths never collide.
-func startOrigin(loops int) (string, func(), error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", nil, err
-	}
-	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/javascript")
-		io.WriteString(w, generateScript(r.URL.Path, loops))
-	})}
-	go srv.Serve(ln)
-	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
-}
-
-// generateScript emits a parseable loop-heavy script seeded by id, so
-// rewrite cost is uniform across scripts while content (and therefore
-// cache key) differs per id.
-func generateScript(id string, loops int) string {
-	h := fnv.New64a()
-	io.WriteString(h, id)
-	seed := h.Sum64() % 1000003
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "var seed = %d;\nvar acc = 0;\n", seed)
-	for i := 0; i < loops; i++ {
-		fmt.Fprintf(&sb, "for (var i%d = 0; i%d < %d; i%d++) { acc += (i%d * seed) %% %d; }\n",
-			i, i, 40+i, i, i, 7+i)
-	}
-	return sb.String()
-}
-
-type roundConfig struct {
-	origin     string
-	mode       instrument.Mode
-	cacheBytes int64
-	shards     int
-	workers    int
-	queueDepth int
-	scenario   string
-	clients    int
-	requests   int
-	hot        int
-	uniqueFrac float64
-	seed       int64
-}
-
-// runRound builds a fresh serving proxy (fresh cache and pipeline, so
-// rounds are comparable) and drives cfg.requests through cfg.clients
-// goroutines. 429s count as rejected — not errors, and not samples:
-// req/s and the latency percentiles describe served (200) responses
-// only, so shedding shows up in the rejected column instead of
-// flattering the tail.
-func runRound(cfg roundConfig) (*report.ServingRow, error) {
-	scfg := proxy.ServeConfig{
-		CacheBytes:   cfg.cacheBytes,
-		DisableCache: cfg.cacheBytes == 0,
-		Shards:       cfg.shards,
-		Workers:      cfg.workers,
-		QueueDepth:   cfg.queueDepth,
-	}
-	p, err := proxy.NewServing(cfg.origin, cfg.mode, "", scfg)
-	if err != nil {
-		return nil, err
-	}
-	defer p.Close()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	srv := &http.Server{Handler: p}
-	go srv.Serve(ln)
-	defer srv.Close()
-	base := "http://" + ln.Addr().String()
-
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        cfg.clients * 2,
-		MaxIdleConnsPerHost: cfg.clients * 2,
-	}}
-	defer client.CloseIdleConnections()
-
-	if cfg.scenario == "prewarm" {
-		if err := prewarm(client, base, cfg.hot); err != nil {
-			return nil, err
-		}
-	}
-
-	var next, uniqueID, rejected atomic.Int64
-	latencies := make([][]time.Duration, cfg.clients)
-	qwaits := make([][]time.Duration, cfg.clients)
-	errs := make([]error, cfg.clients)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < cfg.clients; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
-			for int(next.Add(1)) <= cfg.requests {
-				var path string
-				if rng.Float64() < cfg.uniqueFrac {
-					path = fmt.Sprintf("/unique/%d.js", uniqueID.Add(1))
-				} else {
-					path = fmt.Sprintf("/hot/%d.js", rng.Intn(cfg.hot))
-				}
-				t0 := time.Now()
-				res, err := get(client, base+path)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				if res.status == http.StatusTooManyRequests {
-					// Backpressure: shed fast, retry never (the round
-					// measures shedding, not client retry policy). Shed
-					// requests are counted, not sampled — mixing their
-					// near-instant turnaround into p50/p99 or req/s
-					// would understate served latency and overstate
-					// throughput exactly when saturation engages.
-					rejected.Add(1)
-					continue
-				}
-				latencies[w] = append(latencies[w], time.Since(t0))
-				if res.status != http.StatusOK {
-					errs[w] = fmt.Errorf("GET %s: status %d", path, res.status)
-					return
-				}
-				if !strings.Contains(res.body, "__ceres") {
-					errs[w] = fmt.Errorf("response for %s not instrumented", path)
-					return
-				}
-				qwaits[w] = append(qwaits[w], res.queueWait)
-			}
-		}(w)
-	}
-	wg.Wait()
-	wall := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	var all, allQ []time.Duration
-	for i := range latencies {
-		all = append(all, latencies[i]...)
-		allQ = append(allQ, qwaits[i]...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	sort.Slice(allQ, func(i, j int) bool { return allQ[i] < allQ[j] })
-	stats := p.Stats()
-	return &report.ServingRow{
-		Clients:        cfg.clients,
-		ReqPerSec:      float64(len(all)) / wall.Seconds(),
-		RewritesPerSec: float64(stats.Rewrites) / wall.Seconds(),
-		P50:            percentile(all, 50),
-		P99:            percentile(all, 99),
-		QWaitP50:       percentile(allQ, 50),
-		QWaitP99:       percentile(allQ, 99),
-		Rejected:       rejected.Load(),
-		Hits:           stats.CacheHits,
-		Misses:         stats.CacheMisses,
-		Coalesced:      stats.Coalesced,
-		Failures:       stats.Failures,
-	}, nil
-}
-
-// prewarm POSTs the round's hot set to /__ceres/prewarm so the mix
-// starts against a warm cache.
-func prewarm(client *http.Client, base string, hot int) error {
-	req := proxy.PrewarmRequest{}
-	for i := 0; i < hot; i++ {
-		req.URLs = append(req.URLs, fmt.Sprintf("/hot/%d.js", i))
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(base+"/__ceres/prewarm", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("prewarm: status %d: %s", resp.StatusCode, out)
-	}
-	var pr proxy.PrewarmResponse
-	if err := json.Unmarshal(out, &pr); err != nil {
-		return fmt.Errorf("prewarm: %w", err)
-	}
-	fmt.Printf("prewarm: ok=%d saturated=%d failed=%d\n", pr.OK, pr.Saturated, pr.Failed)
-	return nil
-}
-
-type getResult struct {
-	status    int
-	body      string
-	queueWait time.Duration
-}
-
-func get(client *http.Client, rawURL string) (*getResult, error) {
-	resp, err := client.Get(rawURL)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	res := &getResult{status: resp.StatusCode, body: string(body)}
-	if v := resp.Header.Get(proxy.QueueWaitHeader); v != "" {
-		if us, err := strconv.ParseInt(v, 10, 64); err == nil {
-			res.queueWait = time.Duration(us) * time.Microsecond
-		}
-	}
-	return res, nil
-}
-
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := len(sorted) * p / 100
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

@@ -44,15 +44,19 @@ const DefaultShards = 8
 // parse attempt on every request.
 const negativeEntryCost = 128
 
-// RewriteFunc computes the instrumented form of src. It reports the
-// admission queue wait when the rewrite ran through a scheduler
-// pipeline (zero on the inline path), so callers can surface
-// backpressure per request.
-type RewriteFunc func(src []byte, mode instrument.Mode) (body []byte, queueWait time.Duration, err error)
+// RewriteFunc computes the instrumented form of src at the given
+// latency class. It reports the admission queue wait when the rewrite
+// ran through a scheduler pipeline (zero on the inline path), so
+// callers can surface backpressure per request. started, when non-nil,
+// must be invoked exactly once after admission (before the rewrite
+// blocks) with a hook that promotes the in-flight job to interactive —
+// the cache's single-flight layer uses it for priority inheritance.
+// Implementations without a scheduler (the inline default) ignore both.
+type RewriteFunc func(src []byte, mode instrument.Mode, class sched.Class, started func(promote func())) (body []byte, queueWait time.Duration, err error)
 
 // inlineRewrite is the default RewriteFunc: the staged transform run
-// inline on the calling goroutine (no queue, no wait).
-func inlineRewrite(src []byte, mode instrument.Mode) ([]byte, time.Duration, error) {
+// inline on the calling goroutine (no queue, no wait, classes moot).
+func inlineRewrite(src []byte, mode instrument.Mode, _ sched.Class, _ func(promote func())) ([]byte, time.Duration, error) {
 	res, err := instrument.Rewrite(instrument.Decode(src), mode)
 	if err != nil {
 		return nil, 0, err
@@ -82,11 +86,19 @@ type cacheEntry struct {
 }
 
 // flight is one in-progress rewrite that concurrent callers wait on.
+// class, promote and promoteWanted implement priority inheritance and
+// are guarded by the shard mutex: promote is the scheduler hook
+// (installed once the rewrite is admitted), promoteWanted records an
+// interactive latecomer that arrived before the hook existed.
 type flight struct {
 	done chan struct{}
 	body []byte
 	wait time.Duration
 	err  error
+
+	class         sched.Class
+	promote       func()
+	promoteWanted bool
 }
 
 // cacheShard is one lock domain: a full LRU cache over its slice of the
@@ -191,7 +203,7 @@ func NewShardedRewriteCache(maxBytes int64, shards int) *RewriteCache {
 						cb(nil, fmt.Errorf("proxy: refresh panic: %v", r))
 					}
 				}()
-				body, _, err := inlineRewrite(src, mode)
+				body, _, err := inlineRewrite(src, mode, sched.ClassBatch, nil)
 				cb(body, err)
 			}()
 		},
@@ -233,21 +245,25 @@ func (c *RewriteCache) shardFor(key cacheKey) *cacheShard {
 	return c.shards[h%uint64(len(c.shards))]
 }
 
-// Rewrite returns the instrumented form of src under mode, computing it
-// at most once per distinct (content, mode) while the entry stays
-// resident. The returned slice is shared across callers and must not be
-// modified. A rewrite error is cached too (cheaply), so hot broken
-// scripts do not re-parse per request — except saturation
-// (sched.ErrSaturated), which is the queue's state, not the script's,
-// and is never cached.
+// Rewrite returns the instrumented form of src under mode at
+// interactive priority, computing it at most once per distinct
+// (content, mode) while the entry stays resident. The returned slice is
+// shared across callers and must not be modified. A rewrite error is
+// cached too (cheaply), so hot broken scripts do not re-parse per
+// request — except saturation (sched.ErrSaturated), which is the
+// queue's state, not the script's, and is never cached.
 func (c *RewriteCache) Rewrite(src []byte, mode instrument.Mode) ([]byte, error) {
-	body, _, err := c.RewriteTimed(src, mode)
+	body, _, err := c.RewriteTimed(src, mode, sched.ClassInteractive)
 	return body, err
 }
 
-// RewriteTimed is Rewrite plus the admission queue wait this call (or
-// the in-flight rewrite it joined) paid; hits report zero.
-func (c *RewriteCache) RewriteTimed(src []byte, mode instrument.Mode) ([]byte, time.Duration, error) {
+// RewriteTimed is Rewrite at an explicit latency class, plus the
+// admission queue wait this call (or the in-flight rewrite it joined)
+// paid; hits report zero. Priority inheritance happens here: an
+// interactive caller that coalesces onto a flight started at batch
+// priority promotes the in-flight job, so the interactive caller never
+// waits behind batch lane ordering for work it is blocked on.
+func (c *RewriteCache) RewriteTimed(src []byte, mode instrument.Mode, class sched.Class) ([]byte, time.Duration, error) {
 	key := cacheKey{sum: sha256.Sum256(src), mode: mode}
 	s := c.shardFor(key)
 
@@ -273,17 +289,39 @@ func (c *RewriteCache) RewriteTimed(src []byte, mode instrument.Mode) ([]byte, t
 	}
 	if f, ok := s.inflight[key]; ok {
 		s.coalesced++
+		var promote func()
+		if class == sched.ClassInteractive && f.class == sched.ClassBatch {
+			// Priority inheritance: this interactive caller is about to
+			// block on a batch-priority flight. Promote the in-flight
+			// job; if its scheduler hook has not been installed yet
+			// (the admitting goroutine is between Submit and started),
+			// promoteWanted makes the hook fire on installation.
+			f.class = sched.ClassInteractive
+			f.promoteWanted = true
+			promote = f.promote
+		}
 		s.mu.Unlock()
+		if promote != nil {
+			promote()
+		}
 		<-f.done
 		return f.body, f.wait, f.err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), class: class}
 	s.inflight[key] = f
 	s.misses++
 	s.rewrites++
 	s.mu.Unlock()
 
-	f.body, f.wait, f.err = c.callRewrite(src, mode)
+	f.body, f.wait, f.err = c.callRewrite(src, mode, class, func(promote func()) {
+		s.mu.Lock()
+		f.promote = promote
+		want := f.promoteWanted
+		s.mu.Unlock()
+		if want {
+			promote()
+		}
+	})
 	close(f.done)
 
 	s.mu.Lock()
@@ -300,13 +338,13 @@ func (c *RewriteCache) RewriteTimed(src []byte, mode instrument.Mode) ([]byte, t
 // instead of leaving its key permanently in-flight (which would hang
 // every future request for that script) while the panic unwinds the
 // request goroutine.
-func (c *RewriteCache) callRewrite(src []byte, mode instrument.Mode) (body []byte, wait time.Duration, err error) {
+func (c *RewriteCache) callRewrite(src []byte, mode instrument.Mode, class sched.Class, started func(promote func())) (body []byte, wait time.Duration, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("proxy: rewrite panic: %v", r)
 		}
 	}()
-	return c.rewrite(src, mode)
+	return c.rewrite(src, mode, class, started)
 }
 
 // keepSrc returns the source to retain for refresh, nil when refresh is

@@ -39,15 +39,26 @@ const (
 )
 
 // Pipeline is the staged rewrite service. Create with NewPipeline,
-// install into a cache with SetRewriteFunc(pl.Rewrite) and
+// install into a cache with SetRewriteFunc(pl.RewriteFor) and
 // SetRefresh(ttl, pl.AsyncRewrite), close with Close.
+//
+// Every admission carries a sched.Class: request-path rewrites enter
+// interactive, prewarm and background refresh enter batch, and the
+// queue's lane policy (interactive first, batch shed first, priority
+// inheritance via RewriteFor's started hook) applies end to end.
 type Pipeline struct {
 	queue *sched.Queue
+
+	// batchMaxWait, when set, is the queue-wait deadline handed to every
+	// batch admission: stale prewarm/refresh work still queued past it
+	// is shed instead of run. Set before serving traffic.
+	batchMaxWait time.Duration
 
 	mu       sync.Mutex
 	stages   [4]stageStat
 	complete int64
 	failures int64
+	shed     int64
 }
 
 type stageStat struct {
@@ -77,9 +88,13 @@ type PipelineStats struct {
 	Stages []StageStats `json:"stages"`
 	// Completed counts rewrites that produced output; Failures counts
 	// rewrites that ended in an error (parse failures, not rejections —
-	// rejected requests never enter the pipeline).
+	// rejected requests never enter the pipeline); Shed counts admitted
+	// batch rewrites dropped before running (evicted for interactive
+	// work, or past the batch queue-wait deadline) — shed is a load
+	// decision, not a failure.
 	Completed int64 `json:"completed"`
 	Failures  int64 `json:"failures"`
+	Shed      int64 `json:"shed"`
 }
 
 // NewPipeline starts a staged rewrite service on `workers` scheduler
@@ -91,6 +106,11 @@ func NewPipeline(workers, depth int) *Pipeline {
 
 // Close drains in-flight work and stops the workers.
 func (pl *Pipeline) Close() { pl.queue.Close() }
+
+// SetBatchMaxWait sets the queue-wait deadline applied to batch
+// admissions (0 = no deadline). Must be called before the pipeline
+// serves traffic.
+func (pl *Pipeline) SetBatchMaxWait(d time.Duration) { pl.batchMaxWait = d }
 
 // Queue exposes the underlying scheduler queue (stats, capacity).
 func (pl *Pipeline) Queue() *sched.Queue { return pl.queue }
@@ -110,21 +130,36 @@ type pipeJob struct {
 	cb   func(body []byte, wait time.Duration, err error)
 }
 
-// Rewrite is the cache's RewriteFunc: admission-checked, blocking until
-// the staged rewrite completes. A saturated queue returns
-// sched.ErrSaturated without queueing.
+// Rewrite runs a staged rewrite at interactive priority, blocking until
+// it completes. A saturated queue returns sched.ErrSaturated without
+// queueing.
 func (pl *Pipeline) Rewrite(src []byte, mode instrument.Mode) ([]byte, time.Duration, error) {
+	return pl.RewriteFor(src, mode, sched.ClassInteractive, nil)
+}
+
+// RewriteFor is the cache's RewriteFunc: admission-checked at the given
+// class, blocking until the staged rewrite completes (or, for a batch
+// admission, until it is shed — delivered as sched.ErrSaturated). When
+// started is non-nil it is invoked exactly once after admission with
+// the job's Promote hook, before this call blocks; the cache's
+// single-flight layer uses it for priority inheritance — an interactive
+// caller coalescing onto a batch-priority flight promotes the job it is
+// now waiting on.
+func (pl *Pipeline) RewriteFor(src []byte, mode instrument.Mode, class sched.Class, started func(promote func())) ([]byte, time.Duration, error) {
 	type result struct {
 		body []byte
 		wait time.Duration
 		err  error
 	}
 	ch := make(chan result, 1)
-	err := pl.submit(src, mode, func(body []byte, wait time.Duration, err error) {
+	h, err := pl.submit(src, mode, class, func(body []byte, wait time.Duration, err error) {
 		ch <- result{body, wait, err}
 	})
 	if err != nil {
 		return nil, 0, err
+	}
+	if started != nil {
+		started(h.Promote)
 	}
 	r := <-ch
 	return r.body, r.wait, r.err
@@ -132,19 +167,38 @@ func (pl *Pipeline) Rewrite(src []byte, mode instrument.Mode) ([]byte, time.Dura
 
 // AsyncRewrite is the cache's refresh entry point: same staged path,
 // same admission bound, but non-blocking — the result (or the admission
-// error) is delivered to cb. Background refreshes therefore yield to
-// foreground traffic exactly when the queue is saturated.
+// error) is delivered to cb. Refreshes are batch work: they yield to
+// interactive traffic in the queue's lane order, are evicted first at
+// saturation, and obey the batch queue-wait deadline; a shed refresh is
+// delivered to cb as sched.ErrSaturated.
 func (pl *Pipeline) AsyncRewrite(src []byte, mode instrument.Mode, cb func(body []byte, err error)) {
-	if err := pl.submit(src, mode, func(body []byte, _ time.Duration, err error) {
+	if _, err := pl.submit(src, mode, sched.ClassBatch, func(body []byte, _ time.Duration, err error) {
 		cb(body, err)
 	}); err != nil {
 		cb(nil, err)
 	}
 }
 
-func (pl *Pipeline) submit(src []byte, mode instrument.Mode, cb func([]byte, time.Duration, error)) error {
+func (pl *Pipeline) submit(src []byte, mode instrument.Mode, class sched.Class, cb func([]byte, time.Duration, error)) (*sched.Handle, error) {
 	j := &pipeJob{pl: pl, src: src, mode: mode, t0: time.Now(), cb: cb}
-	return pl.queue.Submit(j.decode)
+	opts := sched.SubmitOptions{Class: class, OnShed: j.shed}
+	if class == sched.ClassBatch {
+		opts.MaxWait = pl.batchMaxWait
+	}
+	return pl.queue.SubmitWith(j.decode, opts)
+}
+
+// shed delivers a dropped admission to its waiter: the queue freed the
+// slot for interactive work, or the batch deadline passed. The waiter
+// sees sched.ErrSaturated — indistinguishable from rejection at Submit,
+// which is the correct reading: the system chose not to spend capacity
+// on this job.
+func (j *pipeJob) shed() {
+	pl := j.pl
+	pl.mu.Lock()
+	pl.shed++
+	pl.mu.Unlock()
+	j.cb(nil, time.Since(j.t0), sched.ErrSaturated)
 }
 
 // recoverStage contains a panicking stage: the job completes with an
@@ -229,6 +283,7 @@ func (pl *Pipeline) Stats() PipelineStats {
 	pl.mu.Lock()
 	st.Completed = pl.complete
 	st.Failures = pl.failures
+	st.Shed = pl.shed
 	for i, s := range pl.stages {
 		ss := StageStats{
 			Name:    StageNames[i],

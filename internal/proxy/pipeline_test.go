@@ -418,12 +418,12 @@ func getErr(url string) (string, *http.Response) {
 func TestCachePanicContainment(t *testing.T) {
 	c := NewRewriteCache(1 << 20)
 	calls := 0
-	c.SetRewriteFunc(func(src []byte, mode instrument.Mode) ([]byte, time.Duration, error) {
+	c.SetRewriteFunc(func(src []byte, mode instrument.Mode, class sched.Class, started func(func())) ([]byte, time.Duration, error) {
 		calls++
 		if calls == 1 {
 			panic("injected rewriter bug")
 		}
-		return inlineRewrite(src, mode)
+		return inlineRewrite(src, mode, class, started)
 	})
 	if _, err := c.Rewrite(srcN(1), instrument.ModeLight); err == nil ||
 		!strings.Contains(err.Error(), "panic") {

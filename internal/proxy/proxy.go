@@ -99,6 +99,10 @@ type ServeConfig struct {
 	// RefreshTTL > 0 enables near-expiry background refresh of hot
 	// cache entries through the same pipeline.
 	RefreshTTL time.Duration
+	// BatchMaxWait > 0 puts a queue-wait deadline on batch admissions
+	// (prewarm, background refresh): work still queued past it is shed
+	// instead of run stale. 0 = no deadline.
+	BatchMaxWait time.Duration
 }
 
 // Stats is a snapshot of the proxy's counters. Each cache shard is
@@ -182,12 +186,13 @@ func NewServing(origin string, mode instrument.Mode, reportDir string, cfg Serve
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p.Pipeline = NewPipeline(workers, cfg.QueueDepth)
+	p.Pipeline.SetBatchMaxWait(cfg.BatchMaxWait)
 	if cfg.DisableCache {
 		p.Cache = nil
 		return p, nil
 	}
 	p.Cache = NewShardedRewriteCache(cfg.CacheBytes, cfg.Shards)
-	p.Cache.SetRewriteFunc(p.Pipeline.Rewrite)
+	p.Cache.SetRewriteFunc(p.Pipeline.RewriteFor)
 	if cfg.RefreshTTL > 0 {
 		p.Cache.SetRefresh(cfg.RefreshTTL, p.Pipeline.AsyncRewrite)
 	}
@@ -333,13 +338,15 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	out, wait, rerr := p.rewrite(body)
+	out, wait, rerr := p.rewrite(body, sched.ClassInteractive)
 	if errors.Is(rerr, sched.ErrSaturated) {
-		// Backpressure, not failure: the admission queue is full, so
-		// shed the request instead of queueing without bound. Clients
-		// retry after a beat and the queue-wait tail stays bounded.
+		// Backpressure, not failure: the admission queue is full even
+		// after batch shedding, so shed the request instead of queueing
+		// without bound. The Retry-After hint tracks the observed
+		// interactive queue-wait tail — clients back off in proportion
+		// to actual saturation, not a hardcoded beat.
 		p.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(p.retryAfterSeconds(sched.ClassInteractive)))
 		http.Error(w, "rewrite queue saturated", http.StatusTooManyRequests)
 		return
 	}
@@ -358,16 +365,16 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(out)
 }
 
-// rewrite instruments src through the cache when one is configured,
-// through the pipeline when only that is, and inline otherwise. The
-// returned wait is the pipeline admission queue wait (0 on cache hits
-// and inline rewrites).
-func (p *Proxy) rewrite(src []byte) ([]byte, time.Duration, error) {
+// rewrite instruments src at the given latency class through the cache
+// when one is configured, through the pipeline when only that is, and
+// inline otherwise. The returned wait is the pipeline admission queue
+// wait (0 on cache hits and inline rewrites).
+func (p *Proxy) rewrite(src []byte, class sched.Class) ([]byte, time.Duration, error) {
 	if p.Cache != nil {
-		return p.Cache.RewriteTimed(src, p.Mode)
+		return p.Cache.RewriteTimed(src, p.Mode, class)
 	}
 	if p.Pipeline != nil {
-		body, wait, err := p.Pipeline.Rewrite(src, p.Mode)
+		body, wait, err := p.Pipeline.RewriteFor(src, p.Mode, class, nil)
 		if !errors.Is(err, sched.ErrSaturated) {
 			// A shed request ran no rewrite; counting it would inflate
 			// Rewrites by exactly the Rejected count.
@@ -376,8 +383,38 @@ func (p *Proxy) rewrite(src []byte) ([]byte, time.Duration, error) {
 		return body, wait, err
 	}
 	p.uncachedRewrites.Add(1)
-	body, wait, err := inlineRewrite(src, p.Mode)
+	body, wait, err := inlineRewrite(src, p.Mode, class, nil)
 	return body, wait, err
+}
+
+// retryAfterSeconds derives the Retry-After hint for a shed request
+// from the observed queue-wait p99 of its class, rounded up to whole
+// seconds — minimum 1 (the header is integer seconds and zero would
+// invite an immediate stampede), capped at 30 (beyond that the hint is
+// noise, not guidance).
+func (p *Proxy) retryAfterSeconds(class sched.Class) int {
+	if p.Pipeline == nil {
+		return 1
+	}
+	st := p.Pipeline.Queue().Stats()
+	p99 := st.Interactive.QueueWaitP99
+	if class == sched.ClassBatch {
+		p99 = st.Batch.QueueWaitP99
+	}
+	return retryAfterFromP99(p99)
+}
+
+// retryAfterFromP99 rounds a queue-wait p99 up to whole seconds,
+// clamped to [1, 30].
+func retryAfterFromP99(p99 time.Duration) int {
+	secs := int((p99 + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func isJavaScript(contentType, path string) bool {
@@ -469,7 +506,9 @@ func (p *Proxy) handlePrewarm(w http.ResponseWriter, r *http.Request) {
 			items[i].Error = fetchErr.Error()
 			return
 		}
-		_, _, err := p.Cache.RewriteTimed(src, p.Mode)
+		// Prewarm is batch work: it fills residual capacity, sheds
+		// first at saturation, and never delays a live page load.
+		_, _, err := p.Cache.RewriteTimed(src, p.Mode, sched.ClassBatch)
 		switch {
 		case errors.Is(err, sched.ErrSaturated):
 			items[i].Status = "saturated"

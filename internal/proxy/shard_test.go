@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/instrument"
+	"repro/internal/sched"
 )
 
 // TestShardKeyDistribution: SHA-256 content addressing spreads distinct
@@ -164,10 +165,10 @@ func TestStatsInflightSnapshot(t *testing.T) {
 	c := NewRewriteCache(1 << 20)
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	c.SetRewriteFunc(func(src []byte, mode instrument.Mode) ([]byte, time.Duration, error) {
+	c.SetRewriteFunc(func(src []byte, mode instrument.Mode, class sched.Class, started func(func())) ([]byte, time.Duration, error) {
 		close(entered)
 		<-release
-		return inlineRewrite(src, mode)
+		return inlineRewrite(src, mode, class, started)
 	})
 	done := make(chan []byte, 1)
 	go func() {

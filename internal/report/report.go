@@ -230,21 +230,60 @@ type ServingRow struct {
 	RewritesPerSec float64
 	P50, P99       time.Duration
 	// QWaitP50/QWaitP99 are admission queue waits (the proxy's
-	// X-Ceres-Queue-Wait header) across the round's 200 responses.
+	// X-Ceres-Queue-Wait header) across the round's 200 responses. In a
+	// per-class row they are the *interactive* class's waits.
 	QWaitP50, QWaitP99 time.Duration
 	// Rejected counts 429 responses — requests shed by backpressure.
+	// In a per-class row these are interactive rejections specifically.
 	Rejected                          int64
 	Hits, Misses, Coalesced, Failures int64
+
+	// PerClass marks a mixed-priority round (loadgen -scenario
+	// priority): the fields below are populated and Serving renders the
+	// batch/promotion columns.
+	PerClass bool
+	// BatchClients is the number of background batch load generators.
+	BatchClients int
+	// BatchPerSec is batch rewrites completed per second; BatchShed
+	// counts batch admissions rejected or dropped (shed before running).
+	BatchPerSec float64
+	BatchShed   int64
+	// BatchQWaitP99 is the batch class's server-side queue-wait p99.
+	BatchQWaitP99 time.Duration
+	// Promoted counts batch flights promoted to interactive by
+	// single-flight priority inheritance during the round.
+	Promoted int64
 }
 
 // Serving renders the serving-ladder table: one row per client count.
 // The shape to read for: req/s scaling with clients while q-wait p99
 // stays bounded; when the pipeline saturates, rejected grows instead of
-// p99 (backpressure sheds load rather than stretching the tail).
+// p99 (backpressure sheds load rather than stretching the tail). Rows
+// marked PerClass (the mixed-priority ladder) add the batch columns:
+// interactive q-wait p99 should stay flat down the ladder while batch/s
+// fills residual capacity and batch shed — never interactive rejected —
+// absorbs saturation.
 func Serving(title string, rows []ServingRow) string {
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
+	perClass := false
+	for _, r := range rows {
+		perClass = perClass || r.PerClass
+	}
 	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', tabwriter.AlignRight)
+	if perClass {
+		fmt.Fprintln(tw, "clients\tbatch-cl\treq/s\tp50\tp99\tq-wait p50\tq-wait p99\trejected\tbatch/s\tb q-wait p99\tb shed\tpromoted\t")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%d\t%d\t%.0f\t%s\t%s\t%s\t%s\t%d\t%.1f\t%s\t%d\t%d\t\n",
+				r.Clients, r.BatchClients, r.ReqPerSec,
+				fmtShortDur(r.P50), fmtShortDur(r.P99),
+				fmtShortDur(r.QWaitP50), fmtShortDur(r.QWaitP99),
+				r.Rejected, r.BatchPerSec, fmtShortDur(r.BatchQWaitP99),
+				r.BatchShed, r.Promoted)
+		}
+		tw.Flush()
+		return sb.String()
+	}
 	fmt.Fprintln(tw, "clients\treq/s\trewrites/s\tp50\tp99\tq-wait p50\tq-wait p99\trejected\thits\tmisses\tcoalesced\tfailures\t")
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%d\t%.0f\t%.1f\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t\n",

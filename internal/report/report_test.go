@@ -130,3 +130,25 @@ func TestServingRendering(t *testing.T) {
 		t.Errorf("Serving rendered %d lines, want 4 (title + header + 2 rows)", lines)
 	}
 }
+
+func TestServingPerClassRendering(t *testing.T) {
+	rows := []ServingRow{
+		{PerClass: true, Clients: 4, BatchClients: 0, ReqPerSec: 5100,
+			P50: 300 * time.Microsecond, P99: 900 * time.Microsecond,
+			QWaitP50: 20 * time.Microsecond, QWaitP99: 150 * time.Microsecond},
+		{PerClass: true, Clients: 4, BatchClients: 8, ReqPerSec: 4900,
+			P50: 320 * time.Microsecond, P99: 950 * time.Microsecond,
+			QWaitP50: 25 * time.Microsecond, QWaitP99: 160 * time.Microsecond,
+			BatchPerSec: 310.5, BatchShed: 12, BatchQWaitP99: 3 * time.Millisecond,
+			Promoted: 2},
+	}
+	out := Serving("loadgen: priority ladder", rows)
+	for _, want := range []string{"batch-cl", "batch/s", "b shed", "promoted", "310.5", "12", "3ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("per-class Serving output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("per-class Serving rendered %d lines, want 4", lines)
+	}
+}

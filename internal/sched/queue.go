@@ -9,6 +9,15 @@
 // unbounded goroutine-per-request), and continuation jobs so a single
 // admission can flow through multiple pipeline stages without holding a
 // worker hostage between them.
+//
+// Admissions carry a latency Class (class.go). The queue is two-lane:
+// every interactive task — root or continuation — drains before any
+// batch task, continuations inherit their parent ticket's class, and at
+// saturation batch is shed before interactive is ever rejected (an
+// interactive Submit evicts the oldest still-queued batch root rather
+// than return ErrSaturated while one exists). Batch admissions may also
+// carry a queue-wait deadline: a batch root a worker reaches past its
+// MaxWait is shed instead of run late.
 package sched
 
 import (
@@ -22,6 +31,8 @@ import (
 // ErrSaturated is returned by Queue.Submit when the admission bound is
 // reached: the caller must shed load (HTTP 429, retry later) instead of
 // queueing without limit. It is a sentinel — match with errors.Is.
+// Batch admissions shed before they run (eviction or deadline) report
+// it through OnShed.
 var ErrSaturated = errors.New("sched: queue saturated")
 
 // ErrClosed is returned by Queue.Submit after Close.
@@ -43,10 +54,12 @@ type WorkerCtx struct {
 
 // Spawn enqueues a continuation of the current job under the *same*
 // admission ticket: it can never be rejected (the admission decision
-// was made at Submit) and it runs before newly-admitted jobs, so
-// pipelines drain from the back. Jobs must use Spawn — never a blocking
-// wait on another queue job — to hand work forward; a job that blocks
-// on queue-scheduled work can deadlock the pool.
+// was made at Submit), it inherits the ticket's class — including a
+// promotion that happens after the spawn — and it runs before
+// newly-admitted roots of its class, so pipelines drain from the back.
+// Jobs must use Spawn — never a blocking wait on another queue job — to
+// hand work forward; a job that blocks on queue-scheduled work can
+// deadlock the pool.
 func (w *WorkerCtx) Spawn(fn Job) {
 	w.t.refs.Add(1)
 	w.q.enqueue(&task{fn: fn, t: w.t}, true)
@@ -54,18 +67,26 @@ func (w *WorkerCtx) Spawn(fn Job) {
 
 // ticket is one admission: refs counts the not-yet-finished jobs in its
 // continuation tree; the admission slot frees when it hits zero.
+// class and done are guarded by Queue.mu — done marks the slot freed
+// (tree finished, or root shed before running) and makes any later
+// Promote a no-op.
 type ticket struct {
-	refs atomic.Int64
+	refs   atomic.Int64
+	class  Class
+	done   bool
+	onShed func()
 }
 
 type task struct {
-	fn  Job
-	t   *ticket
-	enq time.Time // set for admitted roots; zero for continuations
+	fn       Job
+	t        *ticket
+	enq      time.Time // set for admitted roots; zero for continuations
+	deadline time.Time // batch roots with MaxWait; zero otherwise
 }
 
-// waitRingSize bounds the queue-wait sample ring (recent admissions
-// only — percentiles describe current behaviour, not all history).
+// waitRingSize bounds each class's queue-wait sample ring (recent
+// admissions only — percentiles describe current behaviour, not all
+// history).
 const waitRingSize = 1024
 
 // Queue is a long-lived worker pool with bounded admission. Safe for
@@ -74,49 +95,84 @@ type Queue struct {
 	workers int
 	depth   int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	high    []*task // continuations: drain first
-	low     []*task // admitted roots
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Lane order is the whole scheduling policy: workers scan
+	// high[Interactive], low[Interactive], high[Batch], low[Batch] —
+	// continuations before roots within a class, interactive entirely
+	// before batch.
+	high    [numClasses][]*task // continuations
+	low     [numClasses][]*task // admitted roots
 	closed  bool
 	running int // jobs currently executing
 	tickets int // admissions whose continuation tree has not finished
 
-	submitted int64
-	rejected  int64
-	spawned   int64
-	completed int64
-	maxQueued int
+	classTickets [numClasses]int
+	submitted    [numClasses]int64
+	rejected     [numClasses]int64
+	shed         [numClasses]int64
+	promoted     int64
+	spawned      int64
+	completed    int64
+	maxQueued    int
 
-	waits  [waitRingSize]time.Duration
-	waitN  int64 // total waits recorded (ring index = waitN % size)
-	waitNs int64 // sum of all waits, for the mean
+	waits  [numClasses][waitRingSize]time.Duration
+	waitN  [numClasses]int64 // waits recorded (ring index = waitN % size)
+	waitNs [numClasses]int64 // sum of all waits, for the mean
 	wg     sync.WaitGroup
 }
 
-// QueueStats is a point-in-time snapshot of the queue counters.
+// ClassQueueStats is the per-class slice of QueueStats.
+type ClassQueueStats struct {
+	// Submitted counts admitted Submit calls; Rejected counts Submits
+	// that returned ErrSaturated; Shed counts admissions dropped after
+	// admission but before their root ran (batch eviction at
+	// saturation, or MaxWait deadline).
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	// InFlight is the number of admission tickets currently held at
+	// this class (a promoted ticket counts as interactive).
+	InFlight int `json:"in_flight"`
+	// QueueWait* describe time admitted roots of this class spent
+	// queued before their first stage started: mean over whole history,
+	// percentiles and max over the last waitRingSize admissions.
+	QueueWaitMean time.Duration `json:"queue_wait_mean_ns"`
+	QueueWaitP50  time.Duration `json:"queue_wait_p50_ns"`
+	QueueWaitP99  time.Duration `json:"queue_wait_p99_ns"`
+	QueueWaitMax  time.Duration `json:"queue_wait_max_ns"`
+}
+
+// QueueStats is a point-in-time snapshot of the queue counters. The
+// top-level fields aggregate both classes (pre-class dashboards keep
+// working); Interactive and Batch carry the per-class split.
 type QueueStats struct {
 	// Workers and Depth echo the construction parameters.
 	Workers int `json:"workers"`
 	Depth   int `json:"depth"`
 	// Submitted/Rejected count Submit calls (admitted vs ErrSaturated);
-	// Spawned counts continuations; Completed counts jobs executed.
+	// Shed counts admitted-then-dropped roots; Spawned counts
+	// continuations; Completed counts jobs executed; Promoted counts
+	// batch→interactive promotions.
 	Submitted int64 `json:"submitted"`
 	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	Promoted  int64 `json:"promoted"`
 	Spawned   int64 `json:"spawned"`
 	Completed int64 `json:"completed"`
 	// InFlight is the number of admission tickets currently held.
 	InFlight int `json:"in_flight"`
 	// MaxQueued is the high-water mark of queued (not yet running) jobs.
 	MaxQueued int `json:"max_queued"`
-	// QueueWait* describe the time admitted roots spent queued before
-	// their first stage started: the mean is over the queue's whole
-	// history, the percentiles and max over the last waitRingSize
-	// admissions (recent behaviour, which is what an operator tunes on).
+	// QueueWait* merge both classes' samples; the per-class split lives
+	// in Interactive/Batch.
 	QueueWaitMean time.Duration `json:"queue_wait_mean_ns"`
 	QueueWaitP50  time.Duration `json:"queue_wait_p50_ns"`
 	QueueWaitP99  time.Duration `json:"queue_wait_p99_ns"`
 	QueueWaitMax  time.Duration `json:"queue_wait_max_ns"`
+
+	Interactive ClassQueueStats `json:"interactive"`
+	Batch       ClassQueueStats `json:"batch"`
 }
 
 // NewQueue starts a pool of `workers` goroutines (<= 0 → 1) accepting
@@ -144,28 +200,95 @@ func (q *Queue) Workers() int { return q.workers }
 // Depth returns the admission bound.
 func (q *Queue) Depth() int { return q.depth }
 
-// Submit admits fn, or reports ErrSaturated when `depth` admissions are
-// already outstanding (an admission stays outstanding until its whole
-// continuation tree finishes). Submit never blocks: backpressure is the
-// caller's to surface, immediately.
+// Submit admits fn at ClassInteractive, or reports ErrSaturated when
+// `depth` admissions are already outstanding and none can be shed (an
+// admission stays outstanding until its whole continuation tree
+// finishes). Submit never blocks: backpressure is the caller's to
+// surface, immediately.
 func (q *Queue) Submit(fn Job) error {
+	_, err := q.SubmitWith(fn, SubmitOptions{})
+	return err
+}
+
+// SubmitWith admits fn under opts. At the admission bound the shed
+// order is class-asymmetric: a batch Submit is rejected outright, while
+// an interactive Submit first evicts the oldest still-queued batch root
+// (its OnShed fires) and is only rejected when no queued batch work
+// remains — so batch always sheds before any interactive rejection.
+// The returned Handle supports priority inheritance via Promote; it is
+// nil exactly when err is non-nil.
+func (q *Queue) SubmitWith(fn Job, opts SubmitOptions) (*Handle, error) {
+	class := opts.Class
+	if class < 0 || class >= numClasses {
+		class = ClassInteractive
+	}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
+	var evicted func()
 	if q.tickets >= q.depth {
-		q.rejected++
-		q.mu.Unlock()
-		return ErrSaturated
+		ok := false
+		if class == ClassInteractive {
+			if victim := q.evictQueuedBatchLocked(); victim != nil {
+				evicted = victim.onShed
+				ok = true
+			}
+		}
+		if !ok {
+			q.rejected[class]++
+			q.mu.Unlock()
+			return nil, ErrSaturated
+		}
 	}
 	q.tickets++
-	q.submitted++
-	t := &ticket{}
+	q.classTickets[class]++
+	q.submitted[class]++
+	t := &ticket{class: class, onShed: opts.OnShed}
 	t.refs.Store(1)
-	q.enqueueLocked(&task{fn: fn, t: t, enq: time.Now()}, false)
+	tk := &task{fn: fn, t: t, enq: time.Now()}
+	if class == ClassBatch && opts.MaxWait > 0 {
+		tk.deadline = tk.enq.Add(opts.MaxWait)
+	}
+	q.enqueueLocked(tk, false)
 	q.mu.Unlock()
-	return nil
+	if evicted != nil {
+		evicted()
+	}
+	return &Handle{q: q, t: t}, nil
+}
+
+// evictQueuedBatchLocked drops the oldest queued batch root to free its
+// admission slot for an arriving interactive request. Returns the shed
+// ticket (its OnShed must be called after the lock is released), or nil
+// when no batch root is still queued — batch work that already started
+// is never preempted.
+func (q *Queue) evictQueuedBatchLocked() *ticket {
+	lane := q.low[ClassBatch]
+	if len(lane) == 0 {
+		return nil
+	}
+	tk := lane[0]
+	q.low[ClassBatch] = lane[1:]
+	q.freeTicketLocked(tk.t, true)
+	return tk.t
+}
+
+// freeTicketLocked releases an admission slot — either its continuation
+// tree finished (shed=false) or its root was dropped before running
+// (shed=true). done makes late Promotes no-ops and guards against any
+// double free.
+func (q *Queue) freeTicketLocked(t *ticket, shed bool) {
+	if t.done {
+		return
+	}
+	t.done = true
+	q.tickets--
+	q.classTickets[t.class]--
+	if shed {
+		q.shed[t.class]++
+	}
 }
 
 func (q *Queue) enqueue(tk *task, cont bool) {
@@ -175,38 +298,75 @@ func (q *Queue) enqueue(tk *task, cont bool) {
 }
 
 func (q *Queue) enqueueLocked(tk *task, cont bool) {
+	class := tk.t.class
 	if cont {
 		q.spawned++
-		q.high = append(q.high, tk)
+		q.high[class] = append(q.high[class], tk)
 	} else {
-		q.low = append(q.low, tk)
+		q.low[class] = append(q.low[class], tk)
 	}
-	if n := len(q.high) + len(q.low); n > q.maxQueued {
+	if n := q.queuedLocked(); n > q.maxQueued {
 		q.maxQueued = n
 	}
 	q.cond.Signal()
+}
+
+func (q *Queue) queuedLocked() int {
+	n := 0
+	for c := Class(0); c < numClasses; c++ {
+		n += len(q.high[c]) + len(q.low[c])
+	}
+	return n
+}
+
+// dequeueLocked pops the next task in lane-priority order. root reports
+// whether the task is an admitted root (wait is recorded, deadline
+// checked) rather than a continuation.
+func (q *Queue) dequeueLocked() (tk *task, root bool) {
+	for c := Class(0); c < numClasses; c++ {
+		if len(q.high[c]) > 0 {
+			tk = q.high[c][0]
+			q.high[c] = q.high[c][1:]
+			return tk, false
+		}
+		if len(q.low[c]) > 0 {
+			tk = q.low[c][0]
+			q.low[c] = q.low[c][1:]
+			return tk, true
+		}
+	}
+	return nil, false
 }
 
 func (q *Queue) work(w int) {
 	defer q.wg.Done()
 	for {
 		q.mu.Lock()
-		for len(q.high) == 0 && len(q.low) == 0 && !(q.closed && q.running == 0) {
+		for q.queuedLocked() == 0 && !(q.closed && q.running == 0) {
 			q.cond.Wait()
 		}
-		var tk *task
-		switch {
-		case len(q.high) > 0:
-			tk = q.high[0]
-			q.high = q.high[1:]
-		case len(q.low) > 0:
-			tk = q.low[0]
-			q.low = q.low[1:]
-			q.recordWaitLocked(time.Since(tk.enq))
-		default:
+		tk, root := q.dequeueLocked()
+		if tk == nil {
 			// closed, queues empty, nothing running that could spawn.
 			q.mu.Unlock()
 			return
+		}
+		if root {
+			// Deadline shed: a batch root reached past its MaxWait is
+			// dropped instead of run late. Promotion clears the check
+			// (tk.t.class is read under the lock), so an inherited-
+			// priority job always runs.
+			if !tk.deadline.IsZero() && tk.t.class == ClassBatch && time.Now().After(tk.deadline) {
+				q.freeTicketLocked(tk.t, true)
+				onShed := tk.t.onShed
+				q.wakeIfDrainedLocked()
+				q.mu.Unlock()
+				if onShed != nil {
+					onShed()
+				}
+				continue
+			}
+			q.recordWaitLocked(tk.t.class, time.Since(tk.enq))
 		}
 		q.running++
 		q.mu.Unlock()
@@ -217,13 +377,18 @@ func (q *Queue) work(w int) {
 		q.running--
 		q.completed++
 		if tk.t.refs.Add(-1) == 0 {
-			q.tickets--
+			q.freeTicketLocked(tk.t, false)
 		}
-		if q.closed && q.running == 0 && len(q.high) == 0 && len(q.low) == 0 {
-			// Wake parked siblings so they can observe the exit condition.
-			q.cond.Broadcast()
-		}
+		q.wakeIfDrainedLocked()
 		q.mu.Unlock()
+	}
+}
+
+// wakeIfDrainedLocked wakes parked siblings so they can observe the
+// worker exit condition once the queue is closed and fully drained.
+func (q *Queue) wakeIfDrainedLocked() {
+	if q.closed && q.running == 0 && q.queuedLocked() == 0 {
+		q.cond.Broadcast()
 	}
 }
 
@@ -238,15 +403,16 @@ func runJob(fn Job, w *WorkerCtx) {
 	fn(w)
 }
 
-func (q *Queue) recordWaitLocked(d time.Duration) {
-	q.waits[q.waitN%waitRingSize] = d
-	q.waitN++
-	q.waitNs += int64(d)
+func (q *Queue) recordWaitLocked(class Class, d time.Duration) {
+	q.waits[class][q.waitN[class]%waitRingSize] = d
+	q.waitN[class]++
+	q.waitNs[class] += int64(d)
 }
 
 // Close stops admission immediately (Submit returns ErrClosed), lets
 // queued jobs and their continuations finish, and waits for the workers
-// to exit.
+// to exit. Queued batch roots still run — Close drains, it does not
+// shed.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	q.closed = true
@@ -262,29 +428,59 @@ func (q *Queue) Stats() QueueStats {
 	st := QueueStats{
 		Workers:   q.workers,
 		Depth:     q.depth,
-		Submitted: q.submitted,
-		Rejected:  q.rejected,
+		Promoted:  q.promoted,
 		Spawned:   q.spawned,
 		Completed: q.completed,
 		InFlight:  q.tickets,
 		MaxQueued: q.maxQueued,
 	}
-	n := q.waitN
-	if n > waitRingSize {
-		n = waitRingSize
-	}
-	if n > 0 {
-		sample := make([]time.Duration, n)
-		copy(sample, q.waits[:n])
-		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-		st.QueueWaitP50 = sample[len(sample)*50/100]
-		p99 := len(sample) * 99 / 100
-		if p99 >= len(sample) {
-			p99 = len(sample) - 1
+	var merged []time.Duration
+	var sumNs, sumN int64
+	for c := Class(0); c < numClasses; c++ {
+		cs := ClassQueueStats{
+			Submitted: q.submitted[c],
+			Rejected:  q.rejected[c],
+			Shed:      q.shed[c],
+			InFlight:  q.classTickets[c],
 		}
-		st.QueueWaitP99 = sample[p99]
-		st.QueueWaitMax = sample[len(sample)-1]
-		st.QueueWaitMean = time.Duration(q.waitNs / q.waitN)
+		st.Submitted += q.submitted[c]
+		st.Rejected += q.rejected[c]
+		st.Shed += q.shed[c]
+		n := q.waitN[c]
+		if n > waitRingSize {
+			n = waitRingSize
+		}
+		if n > 0 {
+			sample := make([]time.Duration, n)
+			copy(sample, q.waits[c][:n])
+			fillWaitPercentiles(sample, &cs.QueueWaitP50, &cs.QueueWaitP99, &cs.QueueWaitMax)
+			cs.QueueWaitMean = time.Duration(q.waitNs[c] / q.waitN[c])
+			merged = append(merged, sample...)
+			sumNs += q.waitNs[c]
+			sumN += q.waitN[c]
+		}
+		switch c {
+		case ClassInteractive:
+			st.Interactive = cs
+		case ClassBatch:
+			st.Batch = cs
+		}
+	}
+	if len(merged) > 0 {
+		fillWaitPercentiles(merged, &st.QueueWaitP50, &st.QueueWaitP99, &st.QueueWaitMax)
+		st.QueueWaitMean = time.Duration(sumNs / sumN)
 	}
 	return st
+}
+
+// fillWaitPercentiles sorts sample in place and writes p50/p99/max.
+func fillWaitPercentiles(sample []time.Duration, p50, p99, max *time.Duration) {
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	*p50 = sample[len(sample)*50/100]
+	i99 := len(sample) * 99 / 100
+	if i99 >= len(sample) {
+		i99 = len(sample) - 1
+	}
+	*p99 = sample[i99]
+	*max = sample[len(sample)-1]
 }

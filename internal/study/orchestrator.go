@@ -126,9 +126,11 @@ func Orchestrate(ctx context.Context, opts Options) (*RunReport, error) {
 	// so stealing rebalances at job granularity. Job errors are recorded
 	// per slot, never returned to the scheduler — a broken app must not
 	// cancel its siblings (error aggregation, contract 3 in DESIGN.md).
+	// The study grid is batch work: nobody's page load waits on it.
 	stats, _ := sched.RunPlan(sched.UnitPlan(len(jobs)), sched.Options{
 		Workers: opts.Workers,
 		Seed:    opts.Seed,
+		Class:   sched.ClassBatch,
 	}, func(w, ci, lo, hi int) error {
 		for ji := lo; ji < hi; ji++ {
 			job := jobs[ji]
