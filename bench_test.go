@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/autopar"
 	"repro/internal/core"
 	"repro/internal/gecko"
 	"repro/internal/instrument"
@@ -629,6 +630,50 @@ func BenchmarkAutoparSequential(b *testing.B) { benchAutopar(b, 1) }
 func BenchmarkAutopar2Workers(b *testing.B)   { benchAutopar(b, 2) }
 func BenchmarkAutopar4Workers(b *testing.B)   { benchAutopar(b, 4) }
 func BenchmarkAutopar8Workers(b *testing.B)   { benchAutopar(b, 8) }
+
+// ---- Guard elision: static proof vs. speculation ----
+
+// The same kernel, same worker count, with and without a static proof.
+// StaticOff pays the full speculation protocol (guarded profile slice
+// on the main interpreter, per-worker guards on every dispatch);
+// StaticAssist proves the kernel pure once and runs with zero Guard
+// hooks anywhere. The delta is pure per-write hook overhead — a
+// sequential cost, so it is measurable even on a single-CPU host.
+func benchAutoparStatic(b *testing.B, workers int, mode autopar.StaticMode) {
+	prog := parser.MustParse(autoparBenchSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := interp.New()
+		st := rivertrail.Install(in)
+		o := st.Options()
+		o.Workers = workers
+		o.Static = mode
+		st.SetOptions(o)
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+		rep := st.Last()
+		if mode != autopar.StaticOff && !rep.GuardElided {
+			b.Fatalf("static %v did not elide the guard: %+v", mode, rep)
+		}
+		if mode == autopar.StaticOff && rep.GuardElided {
+			b.Fatalf("guard elided without a static mode: %+v", rep)
+		}
+	}
+}
+
+func BenchmarkAutoparStaticOff1Worker(b *testing.B) {
+	benchAutoparStatic(b, 1, autopar.StaticOff)
+}
+func BenchmarkAutoparStaticAssist1Worker(b *testing.B) {
+	benchAutoparStatic(b, 1, autopar.StaticAssist)
+}
+func BenchmarkAutoparStaticOff4Workers(b *testing.B) {
+	benchAutoparStatic(b, 4, autopar.StaticOff)
+}
+func BenchmarkAutoparStaticAssist4Workers(b *testing.B) {
+	benchAutoparStatic(b, 4, autopar.StaticAssist)
+}
 
 // ---- River Trail primitive speedups (reduce / filter / scan) ----
 

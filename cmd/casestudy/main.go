@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/autopar"
 	"repro/internal/report"
 	"repro/internal/study"
 	"repro/internal/workloads"
@@ -52,6 +53,7 @@ func main() {
 	minChunk := flag.Int("minchunk", 0, "scheduler knob: smallest chunk of the geometric plan (0 = default)")
 	chunkDiv := flag.Int("chunkdiv", 0, "scheduler knob: chunk-size divisor, chunks cover remaining/chunkdiv elements (0 = default)")
 	engine := flag.String("engine", "compiled", "interpreter engine for -exec: compiled (pre-resolved evaluator) or treewalk")
+	staticFlag := flag.String("static", "off", "static purity prover mode for -exec: off (speculate+guard everything), assist (guard-free dispatch for proven kernels, refuse refuted), strict (dispatch only proven)")
 	flag.Parse()
 
 	switch *table {
@@ -82,6 +84,11 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown -engine=%s (want compiled or treewalk)", *engine))
 		}
+		mode, err := autopar.ParseStaticMode(*staticFlag)
+		if err != nil {
+			fatal(err)
+		}
+		study.SetExecStatic(mode)
 		rows, measured, err := study.RunExecAll(*seed, counts)
 		if err != nil {
 			fatal(err)

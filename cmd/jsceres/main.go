@@ -20,7 +20,6 @@ import (
 	"repro/internal/gecko"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 	"repro/internal/study"
 	"repro/internal/workloads"
 )
@@ -126,7 +125,7 @@ func runFile(path, mode string, focus ast.LoopID, maxWarn int) error {
 	if err != nil {
 		return err
 	}
-	prog, err := parser.Parse(string(src))
+	prog, err := interp.Load(string(src))
 	if err != nil {
 		return err
 	}

@@ -15,7 +15,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 	"repro/internal/js/value"
 	"repro/internal/parallel"
 )
@@ -63,7 +62,7 @@ func setup(in *interp.Interp) error {
 
 func main() {
 	// ---- step 1: analyze the sequential loop ----
-	prog, err := parser.Parse(filterLoop)
+	prog, err := interp.Load(filterLoop)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 )
 
 const common = `var bodies = [];
@@ -67,7 +66,7 @@ while (steps < 6) { var com = step(); steps++; }
 `
 
 func analyze(label, src string) map[string]bool {
-	prog, err := parser.Parse(src)
+	prog, err := interp.Load(src)
 	if err != nil {
 		log.Fatal(err)
 	}

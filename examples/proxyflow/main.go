@@ -18,7 +18,6 @@ import (
 
 	"repro/internal/instrument"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 	"repro/internal/js/value"
 	"repro/internal/proxy"
 )
@@ -68,7 +67,7 @@ func main() {
 	fmt.Printf("fetched %d bytes of instrumented JavaScript\n", len(src))
 
 	// 4. ... and exercises it
-	prog, err := parser.Parse(string(src))
+	prog, err := interp.Load(string(src))
 	if err != nil {
 		log.Fatal(err)
 	}

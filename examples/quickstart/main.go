@@ -10,7 +10,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 )
 
 // The paper's Fig. 6, with a bounded driver loop so the example
@@ -49,7 +48,7 @@ while (steps < 8) {
 `
 
 func main() {
-	prog, err := parser.Parse(nbody)
+	prog, err := interp.Load(nbody)
 	if err != nil {
 		log.Fatal(err)
 	}

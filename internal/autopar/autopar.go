@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/effects"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
 	"repro/internal/js/printer"
@@ -78,6 +79,12 @@ type Options struct {
 	// two engines to the same hook stream — so this is a bench/bisect
 	// toggle, not a semantics knob.
 	TreeWalk bool
+	// Static selects how much the engine trusts the internal/effects
+	// purity prover (static.go): StaticOff never consults it,
+	// StaticAssist elides the Guard and profile slice for Proven
+	// kernels and refuses Refuted ones, StaticStrict additionally
+	// refuses Unknown ones.
+	Static StaticMode
 }
 
 // schedOptions maps the speculation options onto the scheduler's.
@@ -120,6 +127,14 @@ type Outcome struct {
 	// timing-dependent telemetry — they describe how the run balanced,
 	// never what it computed (0 when nothing dispatched).
 	Chunks, Steals int
+	// Static is the purity prover's verdict and reason chain (the zero
+	// report, Verdict Unknown with no reasons, when Options.Static was
+	// off and the prover never ran).
+	Static effects.Report
+	// GuardElided is true when the operation ran with zero Guard hooks
+	// installed anywhere — no profile slice, unguarded workers — on the
+	// strength of a Proven verdict.
+	GuardElided bool
 }
 
 const (
@@ -164,6 +179,10 @@ type plan struct {
 	kernel *parallel.Kernel
 	base   int // first dispatched element index
 	n      int // total elements
+	// unguarded elides the per-worker Guard entirely: set only when the
+	// static prover returned Proven for the elemental and its callees.
+	// Workers stay share-nothing; only the write hooks disappear.
+	unguarded bool
 }
 
 // buildPlan serializes fn and the remainder elems[base:] into a
@@ -226,11 +245,16 @@ type workerFault struct {
 	impure bool   // true when a worker guard flagged a write
 }
 
-// startWorker builds one guarded share-nothing worker for the plan.
+// startWorker builds one share-nothing worker for the plan — guarded,
+// unless a Proven verdict elided the hooks (the returned *Guard is nil
+// then; Violation() on a nil guard reports clean).
 func (p *plan) startWorker(wi int) (*parallel.Worker, *Guard, *workerFault) {
 	w, err := p.kernel.NewWorker()
 	if err != nil {
 		return nil, nil, &workerFault{reason: fmt.Sprintf("worker %d failed to start: %v", wi, err)}
+	}
+	if p.unguarded {
+		return w, nil, nil
 	}
 	guard := NewGuard()
 	guard.Activate(w.Interp())
@@ -422,29 +446,70 @@ func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value
 		return oc
 	}
 
+	proven := false
+	if opts.Static != StaticOff {
+		oc.Static = AnalyzeStatic(in, fn)
+		switch {
+		case oc.Static.Verdict == effects.Refuted:
+			// Refused before any speculative work: the whole operation
+			// runs sequentially — still guarded, so the dynamic purity
+			// column keeps its own independent verdict.
+			oc.AbortReason = "refused parallel plan: static analysis refuted purity: " + oc.Static.First()
+			sequentialRemainder(in, fn, elems, 0, out, coerce, &oc)
+			oc.Profiled = n
+			return oc
+		case oc.Static.Verdict == effects.Proven:
+			proven = true
+		case opts.Static == StaticStrict:
+			oc.AbortReason = "refused parallel plan: static=strict and verdict unknown: " + oc.Static.First()
+			sequentialRemainder(in, fn, elems, 0, out, coerce, &oc)
+			oc.Profiled = n
+			return oc
+		}
+	}
+
 	base := opts.profileCount(n)
+	if proven {
+		// A Proven kernel needs no profile slice: the prover already
+		// did what profiling exists to discover.
+		base = 0
+	}
 	wantSpec := opts.Workers >= 2 && n-base >= opts.minDispatch()
 
-	limit := n
-	if wantSpec {
-		limit = base
-	}
-	executed, violation := profileUnderGuard(in, 0, limit, n, func(i int) {
-		out[i] = coerce(call(in, fn, elems[i], value.Int(i)))
-	})
-	oc.Profiled = executed
-	if violation != "" {
-		oc.Pure = false
-		oc.AbortReason = "aborted parallel plan: " + violation
-		return oc
-	}
-	if !wantSpec {
-		return oc
+	if proven {
+		if !wantSpec {
+			// Sequential, but with zero guard hooks: sequential
+			// execution is semantically exact with or without them.
+			for i := 0; i < n; i++ {
+				out[i] = coerce(call(in, fn, elems[i], value.Int(i)))
+			}
+			oc.GuardElided = true
+			return oc
+		}
+	} else {
+		limit := n
+		if wantSpec {
+			limit = base
+		}
+		executed, violation := profileUnderGuard(in, 0, limit, n, func(i int) {
+			out[i] = coerce(call(in, fn, elems[i], value.Int(i)))
+		})
+		oc.Profiled = executed
+		if violation != "" {
+			oc.Pure = false
+			oc.AbortReason = "aborted parallel plan: " + violation
+			return oc
+		}
+		if !wantSpec {
+			return oc
+		}
 	}
 
 	// Plan only after a clean profile: serialization (capture analysis,
 	// AST re-print, crossability scan) is wasted work for a kernel the
-	// guard already rejected.
+	// guard already rejected. On the Proven path these checks are the
+	// soundness backstop — a rebound ambient or non-crossable capture
+	// still aborts to the (exact) sequential fallback.
 	pl, abort := buildPlan(op, in, fn, elems, base)
 	if abort != "" {
 		oc.AbortReason = "aborted parallel plan: " + abort
@@ -452,6 +517,7 @@ func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value
 		return oc
 	}
 	pl.kernel.TreeWalk = opts.TreeWalk
+	pl.unguarded = proven
 
 	stats, fault := pl.dispatch(opts.schedOptions(), out)
 	oc.Chunks, oc.Steals = stats.Chunks, stats.Steals
@@ -466,6 +532,7 @@ func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value
 	oc.Parallel = stats.Workers >= 2
 	oc.Workers = stats.Workers
 	oc.Dispatched = n - base
+	oc.GuardElided = proven
 
 	if opts.Verify {
 		if at := verifyRemainder(in, fn, elems, base, out, coerce); at >= 0 {
@@ -587,24 +654,55 @@ func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init val
 		return acc, oc
 	}
 
+	proven := false
+	if opts.Static != StaticOff {
+		oc.Static = AnalyzeStatic(in, fn)
+		switch {
+		case oc.Static.Verdict == effects.Refuted:
+			oc.AbortReason = "refused parallel plan: static analysis refuted purity: " + oc.Static.First()
+			acc = foldRemainder(in, fn, acc, elems, start, &oc)
+			oc.Profiled = n - start
+			return acc, oc
+		case oc.Static.Verdict == effects.Proven:
+			proven = true
+		case opts.Static == StaticStrict:
+			oc.AbortReason = "refused parallel plan: static=strict and verdict unknown: " + oc.Static.First()
+			acc = foldRemainder(in, fn, acc, elems, start, &oc)
+			oc.Profiled = n - start
+			return acc, oc
+		}
+	}
+
 	base := start + opts.profileCount(n-start)
+	if proven {
+		base = start // no profile slice on the Proven path
+	}
 	wantSpec := opts.Workers >= 2 && n-base >= opts.minDispatch()
 
-	limit := n
-	if wantSpec {
-		limit = base
-	}
-	executed, violation := profileUnderGuard(in, start, limit, n, func(i int) {
-		acc = call(in, fn, acc, elems[i], value.Int(i))
-	})
-	oc.Profiled = executed
-	if violation != "" {
-		oc.Pure = false
-		oc.AbortReason = "aborted parallel plan: " + violation
-		return acc, oc
-	}
-	if !wantSpec {
-		return acc, oc
+	if proven {
+		if !wantSpec {
+			// Sequential fold with zero guard hooks.
+			acc = foldRemainder(in, fn, acc, elems, start, nil)
+			oc.GuardElided = true
+			return acc, oc
+		}
+	} else {
+		limit := n
+		if wantSpec {
+			limit = base
+		}
+		executed, violation := profileUnderGuard(in, start, limit, n, func(i int) {
+			acc = call(in, fn, acc, elems[i], value.Int(i))
+		})
+		oc.Profiled = executed
+		if violation != "" {
+			oc.Pure = false
+			oc.AbortReason = "aborted parallel plan: " + violation
+			return acc, oc
+		}
+		if !wantSpec {
+			return acc, oc
+		}
 	}
 
 	pl, abort := buildPlan("reducePar", in, fn, elems, base)
@@ -613,6 +711,7 @@ func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init val
 		return foldRemainder(in, fn, acc, elems, base, &oc), oc
 	}
 	pl.kernel.TreeWalk = opts.TreeWalk
+	pl.unguarded = proven
 
 	partials, starts, stats, fault := pl.reduceDispatch(opts.schedOptions())
 	oc.Chunks, oc.Steals = stats.Chunks, stats.Steals
@@ -628,6 +727,7 @@ func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init val
 	oc.Parallel = stats.Workers >= 2
 	oc.Workers = stats.Workers
 	oc.Dispatched = n - base
+	oc.GuardElided = proven
 
 	if opts.Verify {
 		shadow := foldRemainder(in, fn, acc, elems, base, nil)

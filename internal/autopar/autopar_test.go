@@ -660,3 +660,40 @@ function f(x, i) {
 		t.Errorf("poison = %v, want 55 (one write per i in (200, 256))", got)
 	}
 }
+
+// Regression: a kernel-local variable shadowing a nondeterministic
+// global — even when declared inside a nested block, where the parser
+// hoists it to function scope — is plain data, not the global. The old
+// walk flagged any identifier named Date/console/Math and forced a
+// needless sequential fallback; the free-use-aware walk must dispatch.
+func TestMapSpecShadowedNondetNamesDispatch(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"nested-block var Date", `function f(x, i) {
+			if (x > 0) { var Date = 10; return x + Date; }
+			return x;
+		}`},
+		{"nested-block var console", `function f(x, i) {
+			for (var j = 0; j < 1; j++) { var console = x * 2; x = console; }
+			return x;
+		}`},
+		{"local Math shadow", `function f(x, i) {
+			var Math = 3;
+			return x * Math;
+		}`},
+		{"catch name performance", `function f(x, i) {
+			try { return x + 1; } catch (performance) { return 0; }
+		}`},
+	}
+	for _, c := range cases {
+		in, fn := load(t, c.src)
+		elems := ints(64)
+		out, oc := MapSpec(in, fn, elems, Options{Workers: 4, Verify: true})
+		if !oc.Parallel || oc.Misspeculated {
+			t.Errorf("%s: did not dispatch cleanly: %+v", c.name, oc)
+			continue
+		}
+		if len(out) != len(elems) {
+			t.Errorf("%s: out len = %d, want %d", c.name, len(out), len(elems))
+		}
+	}
+}

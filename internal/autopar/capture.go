@@ -17,17 +17,21 @@ package autopar
 //   - anything else (external objects, native closures, nested arrays)
 //     aborts the plan with a §5.3-style reason.
 //
-// The free-name analysis over-approximates binding in one place: a
-// `catch (e)` name is scoped to its catch block, and a use of the same
-// name elsewhere in the function would be missed as a capture. The
-// failure mode is safe — the worker throws ReferenceError, the plan
-// aborts, and execution falls back to the sequential path.
+// The free-name analysis lives in internal/effects (FreeNames /
+// FreeUses), shared with the static purity prover so the runtime
+// capture plan and the compile-time verdict agree on one binding
+// model. Historical note: the plan used to flag *any* identifier named
+// Date/console/Math as nondeterministic, which misclassified a
+// kernel-local `var Date` declared in a nested block (hoisted to
+// function scope by the parser) as the global clock and forced a
+// needless sequential fallback; the walk now consults per-occurrence
+// free uses, so only genuinely free references count.
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/effects"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
 	"repro/internal/js/printer"
@@ -40,13 +44,8 @@ import (
 // ambient (a user-defined Math, a closure-local Date) would make
 // workers resolve the builtin while the sequential path resolves the
 // user's value, so resolve() aborts the plan in that case instead.
-var ambient = map[string]bool{
-	"Math": true, "console": true, "performance": true, "Date": true,
-	"parseInt": true, "parseFloat": true, "isNaN": true, "isFinite": true,
-	"NaN": true, "Infinity": true, "undefined": true,
-	"Array": true, "Object": true, "String": true, "Number": true,
-	"Boolean": true, "Error": true,
-}
+// The set is shared with the static prover.
+var ambient = effects.Ambient
 
 // capturedVal is one primitive (or flat primitive array) binding to
 // install per worker.
@@ -197,61 +196,62 @@ func (p *capturePlan) install(in *interp.Interp) {
 // RNG streams diverge from the main interpreter's) and the virtual
 // clock (Date / performance.now advance independently per worker). A
 // kernel using any of them would silently return different values in
-// parallel, so the plan aborts instead. The check is conservative: a
-// locally shadowed `Math` still trips it, which only costs the safe
-// sequential fallback.
+// parallel, so the plan aborts instead. Only *free* occurrences count:
+// a kernel-local variable shadowing Date or Math — even one declared in
+// a nested block and hoisted to function scope — is plain data, not the
+// global.
 func usesNondeterminism(fn *ast.FuncLit) string {
 	reason := ""
-	// mathBase collects `Math` identifiers consumed directly as a
-	// member/index base with a proven-deterministic member; a Math
-	// identifier in any other position (var m = Math, Math passed as an
-	// argument, ...) aliases the object and could reach .random later.
-	mathBase := map[*ast.Ident]bool{}
 	flag := func(r string) {
 		if reason == "" {
 			reason = r
 		}
 	}
+	// parents maps Math identifiers consumed directly as a member/index
+	// base; a free Math in any other position (var m = Math, Math passed
+	// as an argument, ...) aliases the object and could reach .random
+	// later.
+	parents := map[*ast.Ident]ast.Node{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.MemberExpr:
-			if id, ok := x.X.(*ast.Ident); ok && id.Name == "Math" {
-				mathBase[id] = true
-				if x.Name == "random" {
-					flag("calls Math.random; worker RNG streams diverge from sequential execution")
-				}
+			if id, ok := x.X.(*ast.Ident); ok {
+				parents[id] = x
 			}
 		case *ast.IndexExpr:
-			// Computed access on Math: Math["random"] is the member in
-			// disguise; any non-literal index cannot be proven
-			// deterministic, so abort conservatively.
-			if id, ok := x.X.(*ast.Ident); ok && id.Name == "Math" {
-				mathBase[id] = true
-				if lit, ok := x.Index.(*ast.StringLit); !ok || lit.Value == "random" {
+			if id, ok := x.X.(*ast.Ident); ok {
+				parents[id] = x
+			}
+		}
+		return true
+	})
+	for _, u := range effects.FreeUses(fn) {
+		switch u.Name {
+		case "Date", "performance":
+			flag("reads the virtual clock (" + u.Name + "); workers tick independently")
+		case "console":
+			flag("writes to the console; output from worker interpreters would be lost")
+		case "Math":
+			if u.Id == nil {
+				break
+			}
+			switch p := parents[u.Id].(type) {
+			case *ast.MemberExpr:
+				if p.Name == "random" {
+					flag("calls Math.random; worker RNG streams diverge from sequential execution")
+				}
+			case *ast.IndexExpr:
+				// Computed access on Math: Math["random"] is the member
+				// in disguise; any non-literal index cannot be proven
+				// deterministic, so abort conservatively.
+				if lit, ok := p.Index.(*ast.StringLit); !ok || lit.Value == "random" {
 					flag("accesses Math by computed key; Math.random cannot be ruled out")
 				}
-			}
-		case *ast.Ident:
-			if x.Name == "Date" || x.Name == "performance" {
-				flag("reads the virtual clock (" + x.Name + "); workers tick independently")
-			}
-			if x.Name == "console" {
-				flag("writes to the console; output from worker interpreters would be lost")
+			default:
+				flag("aliases Math; Math.random cannot be ruled out")
 			}
 		}
-		return true
-	})
-	if reason != "" {
-		return reason
 	}
-	// Second pass: a bare Math reference that was not a safe member base.
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && id.Name == "Math" && !mathBase[id] {
-			flag("aliases Math; Math.random cannot be ruled out")
-			return false
-		}
-		return true
-	})
 	return reason
 }
 
@@ -263,66 +263,8 @@ func displayName(fn *value.Object) string {
 }
 
 // freeNames returns the identifiers fn references but does not bind,
-// sorted for deterministic plans.
+// sorted for deterministic plans. The walk itself lives in
+// internal/effects, shared with the static purity prover.
 func freeNames(fn *ast.FuncLit) []string {
-	free := make(map[string]bool)
-	collectFree(fn, nil, free)
-	out := make([]string, 0, len(free))
-	for n := range free {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// collectFree walks fn's body with the enclosing bound-name set, adding
-// unbound identifier references to free.
-func collectFree(fn *ast.FuncLit, outer map[string]bool, free map[string]bool) {
-	bound := make(map[string]bool, len(outer)+len(fn.Params)+len(fn.VarNames)+2)
-	for n := range outer {
-		bound[n] = true
-	}
-	for _, n := range fn.Params {
-		bound[n] = true
-	}
-	for _, n := range fn.VarNames {
-		bound[n] = true
-	}
-	if fn.Name != "" {
-		bound[fn.Name] = true
-	}
-	bound["arguments"] = true
-	walkFree(fn.Body, bound, free)
-}
-
-// walkFree scans one statement subtree. Nested function literals recurse
-// with an extended bound set; catch clauses bind their exception name
-// for the clause body only.
-func walkFree(root ast.Node, bound map[string]bool, free map[string]bool) {
-	ast.Inspect(root, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.Ident:
-			if !bound[x.Name] {
-				free[x.Name] = true
-			}
-		case *ast.FuncLit:
-			collectFree(x, bound, free)
-			return false
-		case *ast.TryStmt:
-			walkFree(x.Body, bound, free)
-			if x.Catch != nil {
-				cb := make(map[string]bool, len(bound)+1)
-				for n := range bound {
-					cb[n] = true
-				}
-				cb[x.CatchName] = true
-				walkFree(x.Catch, cb, free)
-			}
-			if x.Finally != nil {
-				walkFree(x.Finally, bound, free)
-			}
-			return false
-		}
-		return true
-	})
+	return effects.FreeNames(fn)
 }

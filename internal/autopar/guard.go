@@ -36,7 +36,14 @@ func NewGuard() *Guard {
 }
 
 // Violation returns the first recorded purity violation ("" when clean).
-func (g *Guard) Violation() string { return g.violated }
+func (g *Guard) Violation() string {
+	if g == nil {
+		// A statically-proven dispatch runs with no guard at all; the
+		// nil guard never has a violation to report.
+		return ""
+	}
+	return g.violated
+}
 
 // VarDeclare implements interp.Hooks: new bindings join the epoch —
 // except implicit globals on a worker (see globalScope), which violate.

@@ -115,12 +115,15 @@ func Amdahl(results []*study.AppResult) string {
 
 // Exec renders the ModeExec table: measured speculative-execution
 // speedup per convertible hot loop, next to the ModeDeep Amdahl bound
-// (§5.1/§5.3 — the analyze → execute loop, closed). The chunks/steals
-// columns are the work-stealing scheduler's telemetry at the ladder's
-// top worker count: chunk-plan length (a pure function of n — identical
-// at every count) and successful steals (timing-dependent, like the
-// wall-clock columns; high steal counts on a skewed kernel are the
-// scheduler doing its job).
+// (§5.1/§5.3 — the analyze → execute loop, closed). The static column
+// is the purity prover's verdict for the kernel ("proven+" marks a
+// guard-elided run). The chunks/steals columns are the work-stealing
+// scheduler's telemetry at the ladder's top worker count: chunk-plan
+// length (a pure function of n — identical at every count) and
+// successful steals (timing-dependent, like the wall-clock columns;
+// high steal counts on a skewed kernel are the scheduler doing its
+// job). A kernel that never dispatched has no scheduling telemetry, so
+// those cells render as dashes instead of misleading zeros.
 func Exec(rows []study.ExecRow, counts []int) string {
 	var sb strings.Builder
 	sb.WriteString("ModeExec. Speculative ParallelArray execution - measured vs. predicted\n")
@@ -133,7 +136,7 @@ func Exec(rows []study.ExecRow, counts []int) string {
 	if len(counts) > 0 {
 		top = counts[len(counts)-1]
 	}
-	fmt.Fprintf(tw, "best\tAmdahl16\tchunks\tsteals@%dw\tparallel\tidentical\tabort\t\n", top)
+	fmt.Fprintf(tw, "best\tAmdahl16\tstatic\tchunks\tsteals@%dw\tparallel\tidentical\tabort\t\n", top)
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t", r.App, r.Loop, r.N)
 		for _, w := range counts {
@@ -144,8 +147,17 @@ func Exec(rows []study.ExecRow, counts []int) string {
 			}
 		}
 		best, at := r.BestSpeedup()
-		fmt.Fprintf(tw, "%.2fx@%d\t%.2fx\t%d\t%d\t%s\t%s\t%s\t\n",
-			best, at, r.Amdahl16, r.Chunks[top], r.Steals[top],
+		chunks, steals := "-", "-"
+		if r.Chunks[top] > 0 {
+			chunks = fmt.Sprint(r.Chunks[top])
+			steals = fmt.Sprint(r.Steals[top])
+		}
+		static := dash(r.StaticVerdict)
+		if r.GuardElided {
+			static += "+"
+		}
+		fmt.Fprintf(tw, "%.2fx@%d\t%.2fx\t%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			best, at, r.Amdahl16, static, chunks, steals,
 			yesNo(r.Parallel), yesNo(r.Identical), dash(r.AbortReason))
 	}
 	tw.Flush()

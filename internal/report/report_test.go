@@ -152,3 +152,49 @@ func TestServingPerClassRendering(t *testing.T) {
 		t.Errorf("per-class Serving rendered %d lines, want 4", lines)
 	}
 }
+
+// A kernel that never dispatched has no scheduling telemetry: its
+// chunk/steal cells must render as dashes, and the static column must
+// show the prover's verdict (with "+" marking guard-elided runs).
+func TestExecSuppressesTelemetryForNeverDispatched(t *testing.T) {
+	counts := []int{1, 2}
+	rows := []study.ExecRow{
+		{
+			App: "A", Loop: "dispatched loop", N: 64,
+			WallMS:  map[int]float64{1: 2.0, 2: 1.0},
+			Speedup: map[int]float64{1: 1, 2: 2},
+			Chunks:  map[int]int{2: 8}, Steals: map[int]int{2: 3},
+			Parallel: true, Identical: true,
+			StaticVerdict: "proven", GuardElided: true,
+		},
+		{
+			App: "B", Loop: "refused loop", N: 64,
+			WallMS:  map[int]float64{1: 2.0, 2: 2.0},
+			Speedup: map[int]float64{1: 1, 2: 1},
+			Chunks:  map[int]int{}, Steals: map[int]int{},
+			Identical:     true,
+			StaticVerdict: "refuted",
+			AbortReason:   "static analysis refuted purity: writes captured or global variable g",
+		},
+	}
+	out := Exec(rows, counts)
+	for _, want := range []string{"static", "proven+", "refuted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Exec output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	var refusedLine string
+	for _, l := range lines {
+		if strings.Contains(l, "refused loop") {
+			refusedLine = l
+		}
+	}
+	if refusedLine == "" {
+		t.Fatalf("no row for refused loop:\n%s", out)
+	}
+	// The never-dispatched row must not print zero chunk/steal counts.
+	if !strings.Contains(refusedLine, "-") || strings.Contains(refusedLine, "\t0\t0\t") {
+		t.Errorf("refused row should dash its telemetry: %q", refusedLine)
+	}
+}

@@ -21,6 +21,7 @@ package rivertrail
 
 import (
 	"repro/internal/autopar"
+	"repro/internal/effects"
 	"repro/internal/js/interp"
 	"repro/internal/js/value"
 )
@@ -57,6 +58,14 @@ type Report struct {
 	// dispatched remainder; Steals counts successful steals (both 0 when
 	// nothing dispatched). Steals are timing-dependent telemetry only.
 	Chunks, Steals int
+	// StaticVerdict is the purity prover's verdict ("proven", "refuted",
+	// "unknown") when a static mode was active, "" when the prover never
+	// ran. StaticReasons is its machine-readable reason chain.
+	StaticVerdict string
+	StaticReasons []effects.Reason
+	// GuardElided is true when the operation ran with zero Guard hooks
+	// on the strength of a Proven verdict.
+	GuardElided bool
 }
 
 // State carries the API state for one interpreter.
@@ -108,14 +117,25 @@ func Install(in *interp.Interp) *State {
 			o.Set("elements", value.Int(st.last.Elements))
 			o.Set("chunks", value.Int(st.last.Chunks))
 			o.Set("steals", value.Int(st.last.Steals))
+			o.Set("staticVerdict", value.String(st.last.StaticVerdict))
+			o.Set("guardElided", value.Bool(st.last.GuardElided))
+			reasons := make([]value.Value, 0, len(st.last.StaticReasons))
+			for _, re := range st.last.StaticReasons {
+				ro := in.NewObject()
+				ro.Set("code", value.String(re.Code))
+				ro.Set("detail", value.String(re.Detail))
+				ro.Set("line", value.Int(re.Line))
+				reasons = append(reasons, value.ObjectVal(ro))
+			}
+			o.Set("staticReasons", value.ObjectVal(in.NewArray(reasons...)))
 			return value.ObjectVal(o), nil
 		})))
 	return st
 }
 
 // report converts an engine outcome into the JS-visible report.
-func report(oc autopar.Outcome) Report {
-	return Report{
+func report(opts autopar.Options, oc autopar.Outcome) Report {
+	r := Report{
 		Op:            oc.Op,
 		Pure:          oc.Pure,
 		Parallel:      oc.Parallel,
@@ -127,7 +147,13 @@ func report(oc autopar.Outcome) Report {
 		Elements:      oc.Elements,
 		Chunks:        oc.Chunks,
 		Steals:        oc.Steals,
+		GuardElided:   oc.GuardElided,
 	}
+	if opts.Static != autopar.StaticOff {
+		r.StaticVerdict = oc.Static.Verdict.String()
+		r.StaticReasons = oc.Static.Reasons
+	}
+	return r
 }
 
 // wrap builds a ParallelArray object. The elements are copied at the
@@ -146,7 +172,7 @@ func (st *State) wrapOwned(elems []value.Value) value.Value {
 	pa.Set("mapPar", value.ObjectVal(value.NewNative("mapPar",
 		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
 			out, oc := autopar.MapSpec(st.in, argAt(args, 0), elems, st.opts)
-			st.last = report(oc)
+			st.last = report(st.opts, oc)
 			return st.wrapOwned(out), nil
 		})))
 
@@ -159,7 +185,7 @@ func (st *State) wrapOwned(elems []value.Value) value.Value {
 					kept = append(kept, elems[i])
 				}
 			}
-			st.last = report(oc)
+			st.last = report(st.opts, oc)
 			return st.wrapOwned(kept), nil
 		})))
 
@@ -172,7 +198,7 @@ func (st *State) wrapOwned(elems []value.Value) value.Value {
 				return value.Undefined(), value.ThrowTypeError("Reduce of empty ParallelArray with no initial value")
 			}
 			acc, oc := autopar.ReduceSpec(st.in, argAt(args, 0), elems, argAt(args, 1), hasInit, st.opts)
-			st.last = report(oc)
+			st.last = report(st.opts, oc)
 			return acc, nil
 		})))
 

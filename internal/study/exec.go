@@ -18,8 +18,8 @@ import (
 	"time"
 
 	"repro/internal/autopar"
+	"repro/internal/effects"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 	"repro/internal/js/value"
 	"repro/internal/rivertrail"
 	"repro/internal/workloads"
@@ -55,6 +55,16 @@ type ExecRow struct {
 	// the number of successful steals (timing-dependent; how much
 	// rebalancing the run needed).
 	Chunks, Steals map[int]int
+	// StaticVerdict is the purity prover's verdict for the kernel
+	// ("proven", "refuted", "unknown") — computed for every row, even
+	// when the engine runs with -static=off, so the static column can
+	// sit next to the dynamic one. StaticReason is the first reason of
+	// a non-proven chain.
+	StaticVerdict string
+	StaticReason  string
+	// GuardElided is true when every multi-worker run dispatched with
+	// zero Guard hooks (requires an engine static mode).
+	GuardElided bool
 }
 
 // BestSpeedup returns the highest measured speedup and its worker count.
@@ -117,6 +127,7 @@ func normalizeCounts(counts []int) []int {
 var execTuning = struct {
 	minChunk, chunkDivisor int
 	treeWalk               bool
+	static                 autopar.StaticMode
 }{}
 
 // SetExecTuning configures the ModeExec scheduler knobs (0 = sched
@@ -132,6 +143,12 @@ func SetExecTuning(minChunk, chunkDivisor int) {
 // exists for the before/after ladder (EXPERIMENTS.md) and bisection.
 func SetExecEngine(treeWalk bool) { execTuning.treeWalk = treeWalk }
 
+// SetExecStatic selects the engine's static mode for ModeExec runs
+// (cmd/casestudy -static). Off still *reports* the prover's verdict per
+// row — the column is analysis output, independent of whether the
+// engine acts on it.
+func SetExecStatic(m autopar.StaticMode) { execTuning.static = m }
+
 // execOptions builds the speculation options for one measured count.
 func execOptions(workers int) autopar.Options {
 	return autopar.Options{
@@ -139,6 +156,7 @@ func execOptions(workers int) autopar.Options {
 		MinChunk:     execTuning.minChunk,
 		ChunkDivisor: execTuning.chunkDivisor,
 		TreeWalk:     execTuning.treeWalk,
+		Static:       execTuning.static,
 	}
 }
 
@@ -152,8 +170,17 @@ func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow,
 		Chunks:  make(map[int]int, len(counts)),
 		Steals:  make(map[int]int, len(counts)),
 	}
+	// The static column is analysis output: computed for every row from
+	// the kernel's own source, whatever the engine's -static mode.
+	if rep, err := effects.AnalyzeKernel(ek.Prelude, ek.Elemental); err == nil {
+		row.StaticVerdict = rep.Verdict.String()
+		row.StaticReason = rep.First()
+	} else {
+		row.StaticVerdict = effects.Unknown.String()
+		row.StaticReason = err.Error()
+	}
 	sigs := make(map[int]string, len(counts))
-	hasMulti, allParallel := false, true
+	hasMulti, allParallel, allElided := false, true, true
 	for _, w := range counts {
 		sig, rep, ms, err := execOnce(ek, n, seed, execOptions(w))
 		if err != nil {
@@ -167,6 +194,9 @@ func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow,
 			continue
 		}
 		hasMulti = true
+		if !rep.GuardElided {
+			allElided = false
+		}
 		// Report.Parallel means "actually dispatched across >= 2
 		// workers"; a pure kernel whose remainder fell below the
 		// dispatch threshold reports false here too.
@@ -181,6 +211,7 @@ func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow,
 		}
 	}
 	row.Parallel = hasMulti && allParallel
+	row.GuardElided = hasMulti && allElided
 	if !hasMulti && row.AbortReason == "" {
 		row.AbortReason = "only sequential counts measured"
 	}
@@ -210,15 +241,18 @@ func runExecKernel(ek workloads.ExecKernel, seed uint64, counts []int) (ExecRow,
 // work at every worker count and would otherwise drag every speedup
 // toward 1.0.
 func execOnce(ek workloads.ExecKernel, n int, seed uint64, opts autopar.Options) (string, rivertrail.Report, float64, error) {
-	setupProg, err := parser.Parse(ek.Prelude + "\nvar __pa = ParallelArray(__rawInput);\n")
+	// interp.Load: the ladder re-parses the same three programs once per
+	// worker count; the process-wide cache hands back shared read-only
+	// ASTs instead (the interpreter never mutates what it executes).
+	setupProg, err := interp.Load(ek.Prelude + "\nvar __pa = ParallelArray(__rawInput);\n")
 	if err != nil {
 		return "", rivertrail.Report{}, 0, err
 	}
-	opProg, err := parser.Parse("var __out = __pa.mapPar(" + ek.Elemental + ");\n")
+	opProg, err := interp.Load("var __out = __pa.mapPar(" + ek.Elemental + ");\n")
 	if err != nil {
 		return "", rivertrail.Report{}, 0, err
 	}
-	sigProg, err := parser.Parse(`var __sig = __out.toArray().join(",");` + "\n")
+	sigProg, err := interp.Load(`var __sig = __out.toArray().join(",");` + "\n")
 	if err != nil {
 		return "", rivertrail.Report{}, 0, err
 	}

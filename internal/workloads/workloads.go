@@ -15,7 +15,6 @@ import (
 	"repro/internal/browser"
 	"repro/internal/js/ast"
 	"repro/internal/js/interp"
-	"repro/internal/js/parser"
 	"repro/internal/js/value"
 )
 
@@ -126,7 +125,7 @@ func RunWith(wl *Workload, in *interp.Interp, configure func(w *browser.Window))
 	if configure != nil {
 		configure(w)
 	}
-	prog, err := parser.Parse(wl.Source)
+	prog, err := interp.Load(wl.Source)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: parse %s: %w", wl.Name, err)
 	}
@@ -141,9 +140,11 @@ func RunWith(wl *Workload, in *interp.Interp, configure func(w *browser.Window))
 	return w, nil
 }
 
-// Parse returns the workload's parsed program (for loop-table lookups).
+// Parse returns the workload's parsed program for loop-table lookups.
+// The AST comes from the process-wide interp.Load cache and is shared
+// read-only: callers must not mutate it.
 func Parse(wl *Workload) (*ast.Program, error) {
-	return parser.Parse(wl.Source)
+	return interp.Load(wl.Source)
 }
 
 // NewInterp returns an interpreter configured for the case study.
