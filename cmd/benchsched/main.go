@@ -158,9 +158,13 @@ func main() {
 	flag.Parse()
 
 	if *check {
-		if err := checkFile(*out); err != nil {
+		warn, err := checkFile(*out)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsched: check %s: %v\n", *out, err)
 			os.Exit(1)
+		}
+		if warn != "" {
+			fmt.Fprintf(os.Stderr, "benchsched: check %s: warning: %s\n", *out, warn)
 		}
 		fmt.Printf("benchsched: %s conforms to %s\n", *out, Schema)
 		return
@@ -293,71 +297,77 @@ func fitUSL(rungs []Rung) USL {
 	return best
 }
 
-// checkFile validates a bench document against the v1 schema.
-func checkFile(path string) error {
+// checkFile validates a bench document against the v1 schema. The
+// returned warning is non-empty when the document is schema-valid but
+// its measurements are vacuous (a single-proc machine cannot show a
+// parallel win, so every rung passing is not evidence of anything).
+func checkFile(path string) (string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	var doc File
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("not valid JSON: %w", err)
+		return "", fmt.Errorf("not valid JSON: %w", err)
 	}
 	if doc.Schema != Schema {
-		return fmt.Errorf("schema = %q, want %q", doc.Schema, Schema)
+		return "", fmt.Errorf("schema = %q, want %q", doc.Schema, Schema)
 	}
 	if doc.Reps < 1 {
-		return fmt.Errorf("reps = %d, want >= 1", doc.Reps)
+		return "", fmt.Errorf("reps = %d, want >= 1", doc.Reps)
 	}
 	if len(doc.Workers) == 0 {
-		return fmt.Errorf("empty worker ladder")
+		return "", fmt.Errorf("empty worker ladder")
 	}
 	names := map[string]bool{}
 	for _, k := range doc.Kernels {
 		names[k.Name] = true
 		if k.Name == "" || k.N <= 0 {
-			return fmt.Errorf("kernel %q: incomplete identity", k.Name)
+			return "", fmt.Errorf("kernel %q: incomplete identity", k.Name)
 		}
 		if len(k.Rungs) != len(doc.Workers) {
-			return fmt.Errorf("kernel %s: %d rungs for %d worker counts", k.Name, len(k.Rungs), len(doc.Workers))
+			return "", fmt.Errorf("kernel %s: %d rungs for %d worker counts", k.Name, len(k.Rungs), len(doc.Workers))
 		}
 		for i, r := range k.Rungs {
 			if r.Workers != doc.Workers[i] {
-				return fmt.Errorf("kernel %s rung %d: workers %d, ladder says %d", k.Name, i, r.Workers, doc.Workers[i])
+				return "", fmt.Errorf("kernel %s rung %d: workers %d, ladder says %d", k.Name, i, r.Workers, doc.Workers[i])
 			}
 			s := r.Wall
 			if s.MedianMS <= 0 || s.MinMS <= 0 || s.MaxMS < s.MinMS || s.MedianMS < s.MinMS || s.MedianMS > s.MaxMS {
-				return fmt.Errorf("kernel %s w=%d: inconsistent stat %+v", k.Name, r.Workers, s)
+				return "", fmt.Errorf("kernel %s w=%d: inconsistent stat %+v", k.Name, r.Workers, s)
 			}
 			if r.Speedup <= 0 {
-				return fmt.Errorf("kernel %s w=%d: speedup %v", k.Name, r.Workers, r.Speedup)
+				return "", fmt.Errorf("kernel %s w=%d: speedup %v", k.Name, r.Workers, r.Speedup)
 			}
 			if r.Steals < 0 || r.Chunks < 0 {
-				return fmt.Errorf("kernel %s w=%d: negative telemetry %+v", k.Name, r.Workers, r)
+				return "", fmt.Errorf("kernel %s w=%d: negative telemetry %+v", k.Name, r.Workers, r)
 			}
 			if r.Workers == 1 && r.Steals != 0 {
-				return fmt.Errorf("kernel %s: steals on the sequential rung", k.Name)
+				return "", fmt.Errorf("kernel %s: steals on the sequential rung", k.Name)
 			}
 		}
 		u := k.USL
 		if u.Sigma < 0 || u.Sigma > 1 || u.Kappa < 0 || u.RMSE < 0 {
-			return fmt.Errorf("kernel %s: implausible USL fit %+v", k.Name, u)
+			return "", fmt.Errorf("kernel %s: implausible USL fit %+v", k.Name, u)
 		}
 		if u.Kappa > 0 && u.PeakWorkers <= 0 {
-			return fmt.Errorf("kernel %s: saturation at or below zero workers: %+v", k.Name, u)
+			return "", fmt.Errorf("kernel %s: saturation at or below zero workers: %+v", k.Name, u)
 		}
 	}
 	if !names["balanced"] || !names["skewed"] {
-		return fmt.Errorf("kernels %v: want both balanced and skewed", names)
+		return "", fmt.Errorf("kernels %v: want both balanced and skewed", names)
 	}
 	if doc.Summary.SkewedSteals == 0 {
-		return fmt.Errorf("skewed kernel shows zero steals at the top rung; the stealing path went unmeasured")
+		return "", fmt.Errorf("skewed kernel shows zero steals at the top rung; the stealing path went unmeasured")
 	}
 	if doc.Summary.BestSpeedup <= 0 {
-		return fmt.Errorf("best speedup %.2f is not a measurement", doc.Summary.BestSpeedup)
+		return "", fmt.Errorf("best speedup %.2f is not a measurement", doc.Summary.BestSpeedup)
 	}
 	if doc.MaxProcs > 1 && doc.Summary.BestSpeedup <= 1 {
-		return fmt.Errorf("best speedup %.2f on a %d-proc machine: the ladder shows no parallel win", doc.Summary.BestSpeedup, doc.MaxProcs)
+		return "", fmt.Errorf("best speedup %.2f on a %d-proc machine: the ladder shows no parallel win", doc.Summary.BestSpeedup, doc.MaxProcs)
 	}
-	return nil
+	if doc.MaxProcs <= 1 {
+		return fmt.Sprintf("measured with maxprocs=%d: every parallel rung is a tie by construction, so the no-parallel-win check was skipped — re-measure on a multi-core machine before trusting these numbers", doc.MaxProcs), nil
+	}
+	return "", nil
 }

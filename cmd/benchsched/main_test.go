@@ -1,0 +1,88 @@
+package main
+
+// -check semantics: a schema-valid document measured with maxprocs=1
+// must produce a warning, not a silent pass — every parallel rung is a
+// tie by construction on one proc, so "no violations" would read as
+// evidence the scheduler scales when nothing was actually tested.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkDoc(t *testing.T, doc *File) (string, error) {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(path)
+}
+
+func validDoc(maxProcs int) *File {
+	rung := func(w int, steals int) Rung {
+		return Rung{
+			Workers: w,
+			Wall:    Stat{MedianMS: 2, MinMS: 1, MaxMS: 3},
+			Speedup: 1,
+			Chunks:  4,
+			Steals:  steals,
+		}
+	}
+	kernel := func(name string) KernelResult {
+		return KernelResult{
+			Name:  name,
+			N:     64,
+			Rungs: []Rung{rung(1, 0), rung(2, 1)},
+		}
+	}
+	return &File{
+		Schema:   Schema,
+		Reps:     3,
+		MaxProcs: maxProcs,
+		Workers:  []int{1, 2},
+		Kernels:  []KernelResult{kernel("balanced"), kernel("skewed")},
+		Summary:  Summary{BestSpeedup: 1.0, SkewedSteals: 1},
+	}
+}
+
+func TestCheckWarnsOnSingleProcTies(t *testing.T) {
+	warn, err := checkDoc(t, validDoc(1))
+	if err != nil {
+		t.Fatalf("single-proc document must stay schema-valid: %v", err)
+	}
+	if !strings.Contains(warn, "maxprocs=1") || !strings.Contains(warn, "tie") {
+		t.Fatalf("warning = %q, want the maxprocs-tie explanation", warn)
+	}
+}
+
+func TestCheckMultiProcNeedsParallelWin(t *testing.T) {
+	// The same tie-everywhere numbers on a multi-proc machine are a hard
+	// failure, not a warning: the ladder had cores and showed no win.
+	warn, err := checkDoc(t, validDoc(4))
+	if err == nil || !strings.Contains(err.Error(), "no parallel win") {
+		t.Fatalf("err = %v, want the no-parallel-win violation", err)
+	}
+	if warn != "" {
+		t.Fatalf("unexpected warning alongside hard failure: %q", warn)
+	}
+}
+
+func TestCheckMultiProcWithWinPassesSilently(t *testing.T) {
+	doc := validDoc(4)
+	doc.Summary.BestSpeedup = 1.8
+	warn, err := checkDoc(t, doc)
+	if err != nil {
+		t.Fatalf("valid multi-proc document failed: %v", err)
+	}
+	if warn != "" {
+		t.Fatalf("unexpected warning: %q", warn)
+	}
+}

@@ -54,6 +54,9 @@ func main() {
 	chunkDiv := flag.Int("chunkdiv", 0, "scheduler knob: chunk-size divisor, chunks cover remaining/chunkdiv elements (0 = default)")
 	engine := flag.String("engine", "compiled", "interpreter engine for -exec: compiled (pre-resolved evaluator) or treewalk")
 	staticFlag := flag.String("static", "off", "static purity prover mode for -exec: off (speculate+guard everything), assist (guard-free dispatch for proven kernels, refuse refuted), strict (dispatch only proven)")
+	pipeline := flag.Bool("pipeline", false, "with -exec: run the streaming-pipeline ladder instead — the decode/filter/encode image workload pipelined (pipePar) vs. the chained-mapPar baseline")
+	pipeBatch := flag.Int("pipebatch", 0, "pipeline knob: elements per streamed index-range batch (0 = default)")
+	pipeDepth := flag.Int("pipedepth", 0, "pipeline knob: bounded-channel depth between stages, in batches (0 = default)")
 	flag.Parse()
 
 	switch *table {
@@ -63,6 +66,10 @@ func main() {
 	}
 
 	workloads.SetScale(workloads.Scale{Div: *scaleDiv})
+
+	if *pipeline && !*execMode && *table != "exec" {
+		fatal(fmt.Errorf("-pipeline requires -exec (the pipeline ladder is a ModeExec variant)"))
+	}
 
 	if *execMode || *table == "exec" {
 		if *execMode && *table != "all" && *table != "exec" {
@@ -89,6 +96,23 @@ func main() {
 			fatal(err)
 		}
 		study.SetExecStatic(mode)
+		if *pipeline {
+			study.SetPipeTuning(*pipeBatch, *pipeDepth)
+			rows, measured, err := study.RunPipeAll(*seed, counts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(report.Pipe(rows, measured))
+			for _, r := range rows {
+				if !r.Identical {
+					fatal(fmt.Errorf("pipeline: %s/%s output not byte-identical across strategies and worker counts", r.App, r.Loop))
+				}
+				if r.PairsFound != r.PairsWant {
+					fatal(fmt.Errorf("pipeline: detector found %d produce->consume pairs, want %d", r.PairsFound, r.PairsWant))
+				}
+			}
+			return
+		}
 		rows, measured, err := study.RunExecAll(*seed, counts)
 		if err != nil {
 			fatal(err)

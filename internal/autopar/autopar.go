@@ -49,6 +49,7 @@ import (
 	"repro/internal/js/value"
 	"repro/internal/parallel"
 	"repro/internal/sched"
+	"repro/internal/taskgraph"
 )
 
 // Options configures one speculative operation.
@@ -85,6 +86,23 @@ type Options struct {
 	// kernels and refuses Refuted ones, StaticStrict additionally
 	// refuses Unknown ones.
 	Static StaticMode
+	// Pipeline enables streaming stage dispatch for PipelineSpec /
+	// pipePar (pipeline.go). Off, pipePar still computes the same
+	// composition — sequentially, guarded — so the flag is a pure
+	// execution-strategy toggle, never a semantics knob.
+	Pipeline bool
+	// PipeBatch is the index-range batch size streamed between stages
+	// and PipeDepth the bounded channel capacity between stages in
+	// batches (0 = taskgraph defaults). Outputs are byte-identical at
+	// any setting; the knobs trade hand-off overhead against
+	// backpressure tightness.
+	PipeBatch, PipeDepth int
+	// WorkerSteps bounds each share-nothing worker interpreter's step
+	// budget (0 = interpreter default). The pipeline fuzz sets it so a
+	// fuzzed kernel that terminates on the profiled slice but diverges
+	// beyond it faults the worker — and falls back to the (equally
+	// step-bounded) main interpreter — instead of hanging the pool.
+	WorkerSteps int64
 }
 
 // schedOptions maps the speculation options onto the scheduler's.
@@ -101,7 +119,7 @@ func (o Options) schedOptions() sched.Options {
 
 // Outcome reports one speculative operation.
 type Outcome struct {
-	// Op is "mapPar", "filterPar" or "reducePar".
+	// Op is "mapPar", "filterPar", "reducePar" or "pipePar".
 	Op string
 	// Pure is true when no purity violation was observed (profile slice
 	// and worker guards all clean).
@@ -135,6 +153,16 @@ type Outcome struct {
 	// installed anywhere — no profile slice, unguarded workers — on the
 	// strength of a Proven verdict.
 	GuardElided bool
+	// Pipe is the streaming-stage telemetry of a pipePar operation
+	// (zero-valued for flat operations and for pipelines that never
+	// dispatched).
+	Pipe taskgraph.PipeStats
+	// StageStatic is the per-stage prover report of a pipePar operation
+	// when a static mode was active (index = stage position); nil
+	// otherwise. StageElided[s] is true when stage s dispatched with
+	// zero Guard hooks on the strength of its Proven verdict.
+	StageStatic []effects.Report
+	StageElided []bool
 }
 
 const (
@@ -517,6 +545,7 @@ func speculate(in *interp.Interp, op string, fn value.Value, elems []value.Value
 		return oc
 	}
 	pl.kernel.TreeWalk = opts.TreeWalk
+	pl.kernel.MaxSteps = opts.WorkerSteps
 	pl.unguarded = proven
 
 	stats, fault := pl.dispatch(opts.schedOptions(), out)
@@ -711,6 +740,7 @@ func ReduceSpec(in *interp.Interp, fn value.Value, elems []value.Value, init val
 		return foldRemainder(in, fn, acc, elems, base, &oc), oc
 	}
 	pl.kernel.TreeWalk = opts.TreeWalk
+	pl.kernel.MaxSteps = opts.WorkerSteps
 	pl.unguarded = proven
 
 	partials, starts, stats, fault := pl.reduceDispatch(opts.schedOptions())

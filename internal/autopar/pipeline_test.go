@@ -1,0 +1,293 @@
+package autopar
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/js/interp"
+	"repro/internal/js/parser"
+	"repro/internal/js/value"
+)
+
+// loadStages runs src and returns the interpreter plus the named global
+// functions.
+func loadStages(t *testing.T, src string, names ...string) (*interp.Interp, []value.Value) {
+	t.Helper()
+	in := interp.New()
+	if err := in.Run(parser.MustParse(src)); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	fns := make([]value.Value, len(names))
+	for i, name := range names {
+		fns[i] = in.Global(name)
+		if !fns[i].IsCallable() {
+			t.Fatalf("source does not define %s", name)
+		}
+	}
+	return in, fns
+}
+
+// pipeSequential is the reference semantics: the fused composition on a
+// fresh interpreter loaded from the same source.
+func pipeSequential(t *testing.T, src string, elems []value.Value, names ...string) []value.Value {
+	t.Helper()
+	in, fns := loadStages(t, src, names...)
+	out := make([]value.Value, len(elems))
+	for i := range elems {
+		v := elems[i]
+		for _, fn := range fns {
+			v = call(in, fn, v, value.Int(i))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func sameValues(a, b []value.Value) int {
+	for i := range a {
+		if !value.SameValue(a[i], b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// settleGoroutines waits for worker goroutines to exit; the pipeline
+// joins them before returning, so the count must come back to baseline.
+func settleGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > want {
+		t.Fatalf("goroutines leaked: %d running, want <= %d", got, want)
+	}
+}
+
+const pureStages = `
+function fa(x, i) { return x * 2 + i; }
+function fb(x, i) { return x * x - 1; }
+function fc(x, i) { return x % 97; }
+`
+
+func TestPipelineSpecPureStagesStream(t *testing.T) {
+	elems := ints(512)
+	want := pipeSequential(t, pureStages, elems, "fa", "fb", "fc")
+
+	in, fns := loadStages(t, pureStages, "fa", "fb", "fc")
+	out, oc := PipelineSpec(in, fns, elems, Options{
+		Workers: 4, Pipeline: true, PipeBatch: 32, Verify: true,
+	})
+	if !oc.Pure || !oc.Parallel || oc.AbortReason != "" || oc.Misspeculated {
+		t.Fatalf("pure pipeline did not stream: %+v", oc)
+	}
+	if at := sameValues(want, out); at >= 0 {
+		t.Fatalf("out[%d] = %v, want %v", at, out[at], want[at])
+	}
+	if oc.Pipe.Stages != 3 || oc.Pipe.Batches == 0 || oc.Workers < 3 {
+		t.Fatalf("pipe telemetry wrong: %+v", oc.Pipe)
+	}
+	if oc.Profiled+oc.Dispatched != len(elems) {
+		t.Fatalf("profile/dispatch split wrong: %+v", oc)
+	}
+}
+
+func TestPipelineSpecByteIdenticalAcrossWorkerLadder(t *testing.T) {
+	elems := ints(300)
+	want := pipeSequential(t, pureStages, elems, "fa", "fb")
+	for _, workers := range []int{1, 2, 4, 8} {
+		in, fns := loadStages(t, pureStages, "fa", "fb")
+		out, oc := PipelineSpec(in, fns, elems, Options{
+			Workers: workers, Pipeline: true, PipeBatch: 16, PipeDepth: 1,
+		})
+		if at := sameValues(want, out); at >= 0 {
+			t.Fatalf("workers=%d: out[%d] = %v, want %v (oc %+v)", workers, at, out[at], want[at], oc)
+		}
+		if workers == 1 && (oc.Parallel || oc.Dispatched != 0) {
+			t.Fatalf("workers=1 must stay sequential: %+v", oc)
+		}
+		if workers >= 2 && !oc.Parallel {
+			t.Fatalf("workers=%d did not stream: %+v", workers, oc)
+		}
+	}
+}
+
+func TestPipelineSpecOffTogglesSequential(t *testing.T) {
+	elems := ints(256)
+	in, fns := loadStages(t, pureStages, "fa", "fb")
+	_, oc := PipelineSpec(in, fns, elems, Options{Workers: 4, Pipeline: false})
+	if oc.Parallel || oc.Dispatched != 0 || oc.Pipe.Stages != 0 {
+		t.Fatalf("Pipeline=false must not dispatch: %+v", oc)
+	}
+	if !oc.Pure || oc.Profiled != len(elems) {
+		t.Fatalf("sequential pipeline not fully guarded: %+v", oc)
+	}
+}
+
+// Stage-B impurity that only manifests mid-stream (beyond the profile
+// slice) must cancel both stages, drain the channels without deadlock,
+// fall back to exact sequential semantics, and leak no goroutines.
+func TestPipelineMisspeculationMidStreamFallsBack(t *testing.T) {
+	src := `
+var leak = 0;
+function fa(x, i) { return x + 1; }
+function fb(x, i) { if (i >= 200) { leak = leak + 1; } return x * 3; }
+`
+	elems := ints(600)
+	want := pipeSequential(t, src, elems, "fa", "fb")
+
+	before := runtime.NumGoroutine()
+	in, fns := loadStages(t, src, "fa", "fb")
+	done := make(chan struct{})
+	var out []value.Value
+	var oc Outcome
+	go func() {
+		defer close(done)
+		out, oc = PipelineSpec(in, fns, elems, Options{
+			Workers: 4, Pipeline: true, PipeBatch: 8, PipeDepth: 1,
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("pipeline deadlocked on mid-stream misspeculation")
+	}
+	if oc.Pure || oc.Parallel {
+		t.Fatalf("impure pipeline reported %+v", oc)
+	}
+	if !strings.Contains(oc.AbortReason, "stage 1") || !strings.Contains(oc.AbortReason, "leak") {
+		t.Fatalf("abort reason does not name the stage-1 write: %q", oc.AbortReason)
+	}
+	if at := sameValues(want, out); at >= 0 {
+		t.Fatalf("fallback diverged from sequential at %d: %v != %v", at, out[at], want[at])
+	}
+	// Exact sequential side effects: profile wrote nothing (< 200), the
+	// fallback re-ran [base, n) once on the main interpreter.
+	if got := in.Global("leak").ToNumber(); got != 400 {
+		t.Fatalf("leak = %v after fallback, want 400 (one write per element >= 200)", got)
+	}
+	settleGoroutines(t, before)
+}
+
+// A stage-A JS throw beyond the profile slice must cancel the stream
+// and re-raise on the main interpreter in exact element order.
+func TestPipelineWorkerThrowFallsBackToSequentialThrow(t *testing.T) {
+	src := `
+var seen = 0;
+function fa(x, i) { if (i >= 100) { throw "boom at " + i; } seen = seen + 0; return x; }
+function fb(x, i) { return x + 1; }
+`
+	before := runtime.NumGoroutine()
+	in, fns := loadStages(t, src, "fa", "fb")
+	elems := ints(400)
+	// Route the call through SafeCall so the re-raised JS throw converts
+	// to an error the same way any host boundary sees it.
+	run := value.ObjectVal(value.NewNative("run",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			PipelineSpec(in, fns, elems, Options{Workers: 4, Pipeline: true, PipeBatch: 8})
+			return value.Undefined(), nil
+		}))
+	_, err := in.SafeCall(run, value.Undefined(), nil)
+	if err == nil {
+		t.Fatal("expected the stage-A throw to propagate from the sequential fallback")
+	}
+	if !strings.Contains(err.Error(), "boom at 100") {
+		t.Fatalf("throw = %q, want the first sequential element (boom at 100)", err)
+	}
+	settleGoroutines(t, before)
+}
+
+func TestPipelineSpecStaticElidesStageGuards(t *testing.T) {
+	elems := ints(256)
+	in, fns := loadStages(t, pureStages, "fa", "fb")
+	out, oc := PipelineSpec(in, fns, elems, Options{
+		Workers: 4, Pipeline: true, Static: StaticStrict, Verify: true,
+	})
+	if !oc.GuardElided || oc.Profiled != 0 || !oc.Parallel {
+		t.Fatalf("proven stages did not elide guards: %+v", oc)
+	}
+	if len(oc.StageStatic) != 2 || len(oc.StageElided) != 2 || !oc.StageElided[0] || !oc.StageElided[1] {
+		t.Fatalf("per-stage verdicts missing: %+v %+v", oc.StageStatic, oc.StageElided)
+	}
+	want := pipeSequential(t, pureStages, elems, "fa", "fb")
+	if at := sameValues(want, out); at >= 0 {
+		t.Fatalf("elided run diverged at %d", at)
+	}
+}
+
+func TestPipelineSpecStaticRefutedRefuses(t *testing.T) {
+	src := `
+var acc = 0;
+function fa(x, i) { return x + 1; }
+function fb(x, i) { acc = acc + x; return x; }
+`
+	elems := ints(64)
+	in, fns := loadStages(t, src, "fa", "fb")
+	out, oc := PipelineSpec(in, fns, elems, Options{
+		Workers: 4, Pipeline: true, Static: StaticAssist,
+	})
+	if oc.Parallel || !strings.Contains(oc.AbortReason, "refused pipeline plan: stage 1") {
+		t.Fatalf("refuted stage did not refuse: %+v", oc)
+	}
+	if oc.Pure {
+		t.Fatal("guarded sequential run must still flag the dynamic write")
+	}
+	want := pipeSequential(t, src, elems, "fa", "fb")
+	if at := sameValues(want, out); at >= 0 {
+		t.Fatalf("refused run diverged at %d", at)
+	}
+}
+
+func TestPipelineSpecNonCrossableResultFallsBack(t *testing.T) {
+	// Stage A returns an object mid-stream: it cannot cross the channel
+	// to stage B's interpreter, so the plan must fall back — and the
+	// fallback composes the stages on one interpreter where the object
+	// flows fine.
+	src := `
+function fa(x, i) { if (i >= 100) { return {v: x}; } return x; }
+function fb(x, i) { return (typeof x === "object") ? x.v : x; }
+`
+	elems := ints(300)
+	want := pipeSequential(t, src, elems, "fa", "fb")
+	in, fns := loadStages(t, src, "fa", "fb")
+	out, oc := PipelineSpec(in, fns, elems, Options{Workers: 4, Pipeline: true, PipeBatch: 8})
+	if oc.Parallel {
+		t.Fatalf("non-crossable stream reported parallel: %+v", oc)
+	}
+	if !strings.Contains(oc.AbortReason, "cannot cross share-nothing workers") {
+		t.Fatalf("abort reason = %q", oc.AbortReason)
+	}
+	if at := sameValues(want, out); at >= 0 {
+		t.Fatalf("fallback diverged at %d", at)
+	}
+	if !oc.Pure {
+		t.Fatalf("crossability is not impurity: %+v", oc)
+	}
+}
+
+func TestSplitPipeWorkers(t *testing.T) {
+	cases := []struct {
+		total, stages int
+		want          []int
+	}{
+		{2, 3, []int{1, 1, 1}},
+		{4, 3, []int{2, 1, 1}},
+		{8, 3, []int{3, 3, 2}},
+		{4, 2, []int{2, 2}},
+		{1, 2, []int{1, 1}},
+	}
+	for _, c := range cases {
+		got := splitPipeWorkers(c.total, c.stages)
+		if len(got) != len(c.want) {
+			t.Fatalf("split(%d,%d) = %v", c.total, c.stages, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("split(%d,%d) = %v, want %v", c.total, c.stages, got, c.want)
+			}
+		}
+	}
+}

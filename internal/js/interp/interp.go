@@ -222,7 +222,13 @@ func (in *Interp) EmitHostOp(category, op string, costNS int64) {
 type Option func(*Interp)
 
 // WithMaxSteps bounds the number of evaluation steps (0 = default 500M).
-func WithMaxSteps(n int64) Option { return func(in *Interp) { in.maxSteps = n } }
+func WithMaxSteps(n int64) Option {
+	return func(in *Interp) {
+		if n > 0 {
+			in.maxSteps = n
+		}
+	}
+}
 
 // WithNSPerStep sets the virtual cost of one evaluation step.
 func WithNSPerStep(ns int64) Option { return func(in *Interp) { in.nsPerStep = ns } }

@@ -45,6 +45,11 @@ type Kernel struct {
 	Setup func(in *interp.Interp) error
 	// Seed for each worker's deterministic Math.random.
 	Seed uint64
+	// MaxSteps bounds each worker interpreter's evaluation steps
+	// (0 = the interpreter default). Callers that execute untrusted or
+	// fuzzed kernels set it so a kernel that diverges on the worker
+	// faults (step-limit error) instead of hanging the pool.
+	MaxSteps int64
 	// TreeWalk opts workers out of compiled execution (interp.SetCompile),
 	// falling back to the tree-walking evaluator. The observable behavior
 	// is identical (the conformance suite proves it); the toggle exists
@@ -85,7 +90,7 @@ func (k *Kernel) NewWorker() (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := interp.New(interp.WithSeed(k.Seed))
+	in := interp.New(interp.WithSeed(k.Seed), interp.WithMaxSteps(k.MaxSteps))
 	if !k.TreeWalk {
 		in.SetCompile(true)
 	}

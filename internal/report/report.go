@@ -165,6 +165,65 @@ func Exec(rows []study.ExecRow, counts []int) string {
 	return sb.String()
 }
 
+// Pipe renders the pipeline ladder: the streaming decode→filter→encode
+// workload measured pipelined (pipePar) and as the chained-mapPar
+// baseline at each worker count, with the streaming telemetry — batches,
+// batch size, backpressure stalls and the goroutine split across stages
+// — taken at the ladder's top count. The pairs column is the
+// core.PipePairDetector's found/expected count on the raw loop-pair
+// form of the same program: the detect → schedule → verify loop in one
+// row. Stage verdicts are the purity prover's per-stage answers.
+func Pipe(rows []study.PipeRow, counts []int) string {
+	var sb strings.Builder
+	sb.WriteString("ModeExec pipeline ladder. Streaming produce->consume stages vs. chained mapPar\n")
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "App\tHot loop\tn\tstages\t")
+	for _, w := range counts {
+		fmt.Fprintf(tw, "pipe %dw ms\tchain %dw ms\t", w, w)
+	}
+	top := 1
+	if len(counts) > 0 {
+		top = counts[len(counts)-1]
+	}
+	fmt.Fprintf(tw, "batches@%dw\tbatch\tstalls\tsplit\tpairs\tverdicts\tparallel\tidentical\tabort\t\n", top)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t", r.App, r.Loop, r.N, r.Stages)
+		for _, w := range counts {
+			pipe, chain := "-", "-"
+			if ms, ok := r.PipeMS[w]; ok {
+				pipe = fmt.Sprintf("%.1f", ms)
+			}
+			if ms, ok := r.ChainMS[w]; ok {
+				chain = fmt.Sprintf("%.1f", ms)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t", pipe, chain)
+		}
+		batches, batch, stalls, split := "-", "-", "-", "-"
+		if r.Batches > 0 {
+			batches = fmt.Sprint(r.Batches)
+			batch = fmt.Sprint(r.BatchSize)
+			stalls = fmt.Sprint(r.Stalls)
+			split = intsDash(r.StageWorkers)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d/%d\t%s\t%s\t%s\t%s\t\n",
+			batches, batch, stalls, split,
+			r.PairsFound, r.PairsWant, dash(strings.Join(r.StageVerdicts, ",")),
+			yesNo(r.Parallel), yesNo(r.Identical), dash(r.AbortReason))
+	}
+	tw.Flush()
+	fmt.Fprintf(&sb, "\n%s\n", study.PipeSummary(rows))
+	return sb.String()
+}
+
+// intsDash joins a worker split as "2-1-1".
+func intsDash(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, "-")
+}
+
 func dash(s string) string {
 	if s == "" {
 		return "-"

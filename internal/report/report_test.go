@@ -198,3 +198,60 @@ func TestExecSuppressesTelemetryForNeverDispatched(t *testing.T) {
 		t.Errorf("refused row should dash its telemetry: %q", refusedLine)
 	}
 }
+
+func TestPipeRendering(t *testing.T) {
+	counts := []int{1, 2}
+	rows := []study.PipeRow{
+		{
+			App: "CamanJS", Loop: "decode/filter/encode pixel pipeline", N: 512, Stages: 3,
+			PipeMS:   map[int]float64{1: 4.0, 2: 2.5},
+			ChainMS:  map[int]float64{1: 4.2, 2: 3.0},
+			Speedup:  map[int]float64{1: 1, 2: 1.6},
+			Parallel: true, Identical: true,
+			Batches: 8, BatchSize: 64, Stalls: 3,
+			StageWorkers:  []int{2, 1, 1},
+			StageVerdicts: []string{"proven", "proven", "proven"},
+			PairsFound:    3, PairsWant: 3,
+		},
+	}
+	out := Pipe(rows, counts)
+	for _, want := range []string{
+		"pipe 2w ms", "chain 2w ms", "batches@2w", "2-1-1", "3/3",
+		"proven,proven,proven", "stalls", "3-stage pipeline streamed 8 batches",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Pipe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPipeRenderingDashesWhenNeverStreamed(t *testing.T) {
+	rows := []study.PipeRow{
+		{
+			App: "CamanJS", Loop: "pipeline", N: 512, Stages: 3,
+			PipeMS:        map[int]float64{1: 4.0},
+			ChainMS:       map[int]float64{1: 4.2},
+			Identical:     true,
+			StageVerdicts: []string{"proven", "proven", "proven"},
+			PairsFound:    3, PairsWant: 3,
+			AbortReason: "only sequential counts measured",
+		},
+	}
+	out := Pipe(rows, []int{1})
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "CamanJS") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no data row:\n%s", out)
+	}
+	// A never-streamed row must dash its streaming telemetry, not print zeros.
+	if strings.Contains(line, "\t0\t0\t0\t") {
+		t.Errorf("never-streamed row printed zero telemetry: %q", line)
+	}
+	if !strings.Contains(out, "only sequential counts measured") {
+		t.Errorf("abort reason missing:\n%s", out)
+	}
+}

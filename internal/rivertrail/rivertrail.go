@@ -28,7 +28,7 @@ import (
 
 // Report describes the last ParallelArray operation.
 type Report struct {
-	// Op is "mapPar", "filterPar" or "reducePar".
+	// Op is "mapPar", "filterPar", "reducePar" or "pipePar".
 	Op string
 	// Pure is true when the purity guard observed no violation (the
 	// §5.1 eligibility signal; an operation can be pure yet still run
@@ -66,6 +66,17 @@ type Report struct {
 	// GuardElided is true when the operation ran with zero Guard hooks
 	// on the strength of a Proven verdict.
 	GuardElided bool
+	// Stages, Batches, BatchSize and Stalls are the streaming telemetry
+	// of a pipePar operation that dispatched: stage count, index-range
+	// batches streamed, elements per batch, and backpressure stalls
+	// summed over every inter-stage edge (all 0 for flat operations and
+	// sequential pipelines). StageWorkers[s] is stage s's goroutine
+	// count.
+	Stages, Batches, BatchSize, Stalls int
+	StageWorkers                       []int
+	// StageVerdicts[s] is the prover's verdict for stage s of a pipePar
+	// operation when a static mode was active (nil otherwise).
+	StageVerdicts []string
 }
 
 // State carries the API state for one interpreter.
@@ -119,6 +130,15 @@ func Install(in *interp.Interp) *State {
 			o.Set("steals", value.Int(st.last.Steals))
 			o.Set("staticVerdict", value.String(st.last.StaticVerdict))
 			o.Set("guardElided", value.Bool(st.last.GuardElided))
+			o.Set("stages", value.Int(st.last.Stages))
+			o.Set("batches", value.Int(st.last.Batches))
+			o.Set("batchSize", value.Int(st.last.BatchSize))
+			o.Set("stalls", value.Int(st.last.Stalls))
+			verdicts := make([]value.Value, 0, len(st.last.StageVerdicts))
+			for _, v := range st.last.StageVerdicts {
+				verdicts = append(verdicts, value.String(v))
+			}
+			o.Set("stageVerdicts", value.ObjectVal(in.NewArray(verdicts...)))
 			reasons := make([]value.Value, 0, len(st.last.StaticReasons))
 			for _, re := range st.last.StaticReasons {
 				ro := in.NewObject()
@@ -152,6 +172,16 @@ func report(opts autopar.Options, oc autopar.Outcome) Report {
 	if opts.Static != autopar.StaticOff {
 		r.StaticVerdict = oc.Static.Verdict.String()
 		r.StaticReasons = oc.Static.Reasons
+		for _, rep := range oc.StageStatic {
+			r.StageVerdicts = append(r.StageVerdicts, rep.Verdict.String())
+		}
+	}
+	r.Stages = oc.Pipe.Stages
+	r.Batches = oc.Pipe.Batches
+	r.BatchSize = oc.Pipe.BatchSize
+	r.StageWorkers = oc.Pipe.StageWorkers
+	for _, s := range oc.Pipe.Stalls {
+		r.Stalls += s
 	}
 	return r
 }
@@ -200,6 +230,21 @@ func (st *State) wrapOwned(elems []value.Value) value.Value {
 			acc, oc := autopar.ReduceSpec(st.in, argAt(args, 0), elems, argAt(args, 1), hasInit, st.opts)
 			st.last = report(st.opts, oc)
 			return acc, nil
+		})))
+
+	pa.Set("pipePar", value.ObjectVal(value.NewNative("pipePar",
+		func(c value.Caller, this value.Value, args []value.Value) (value.Value, error) {
+			// pipePar(f1, f2, ...) composes the stages element-wise —
+			// out[i] = fK(...f1(x, i)..., i), fused element-major order —
+			// and streams them as pipeline stages when Options.Pipeline
+			// is on. Zero stages would be the identity; require one so a
+			// forgotten argument fails loudly like mapPar(undefined).
+			if len(args) == 0 {
+				return value.Undefined(), value.ThrowTypeError("pipePar requires at least one stage function")
+			}
+			out, oc := autopar.PipelineSpec(st.in, args, elems, st.opts)
+			st.last = report(st.opts, oc)
+			return st.wrapOwned(out), nil
 		})))
 
 	pa.Set("get", value.ObjectVal(value.NewNative("get",

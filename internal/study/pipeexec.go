@@ -1,0 +1,295 @@
+package study
+
+// The pipeline ladder: ModeExec's streaming counterpart. The image
+// workload (workloads.ImagePipe) is a decode → filter → encode chain
+// whose stage loops are sequentially dependent — the shape flat mapPar
+// cannot merge — so each worker count is measured two ways: pipePar
+// (stages streamed over taskgraph.RunPipeline) and the chained-mapPar
+// baseline (each stage a full parallel pass with a barrier between
+// passes). Outputs must be byte-identical across both strategies and
+// every count; the core.PipePairDetector is run over the raw loop-pair
+// form of the same program to confirm the chain is detectable, closing
+// the detect → schedule → verify loop.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/autopar"
+	"repro/internal/core"
+	"repro/internal/effects"
+	"repro/internal/js/interp"
+	"repro/internal/js/value"
+	"repro/internal/rivertrail"
+	"repro/internal/workloads"
+)
+
+// PipeRow is the pipeline workload measured across the worker ladder.
+type PipeRow struct {
+	App, Loop string
+	// N is the scaled element count; Stages the pipeline depth.
+	N, Stages int
+	// PipeMS and ChainMS map worker count to wall-clock milliseconds for
+	// the pipelined run and the chained-mapPar baseline.
+	PipeMS, ChainMS map[int]float64
+	// Speedup maps worker count to sequential-pipePar-time / pipePar-time.
+	Speedup map[int]float64
+	// Parallel is true when the pipeline actually streamed (>= 2
+	// goroutines) at every count >= 2; AbortReason is the first §5.3
+	// reason observed when it did not.
+	Parallel    bool
+	AbortReason string
+	// Identical is true when outputs were byte-identical across every
+	// count and both strategies.
+	Identical bool
+	// Batches, BatchSize and Stalls are the streaming telemetry at the
+	// ladder's top count: index-range batches streamed, elements per
+	// batch, and backpressure stalls summed over the inter-stage edges.
+	// StageWorkers is the top count's goroutine split across stages.
+	Batches, BatchSize, Stalls int
+	StageWorkers               []int
+	// StageVerdicts[s] is the purity prover's verdict for stage s —
+	// computed for every row from the stage's own source, whatever the
+	// engine's -static mode (the ModeExec static-column convention).
+	StageVerdicts []string
+	// PairsFound is the number of produce → consume pairs the
+	// core.PipePairDetector reported on the raw loop-pair form;
+	// PairsWant is the workload's expected count.
+	PairsFound, PairsWant int
+}
+
+// RunPipeAll measures the pipeline workload at each worker count
+// (nil = ExecWorkerCounts; a leading 1 is forced). The returned counts
+// are the normalized ladder actually measured.
+func RunPipeAll(seed uint64, counts []int) ([]PipeRow, []int, error) {
+	counts = normalizeCounts(counts)
+	row, err := runPipeKernel(workloads.ImagePipe(), seed, counts)
+	if err != nil {
+		return nil, counts, fmt.Errorf("study: pipeline %s/%s: %w", row.App, row.Loop, err)
+	}
+	return []PipeRow{row}, counts, nil
+}
+
+// pipeTuning holds the streaming knobs (cmd/casestudy -pipebatch and
+// -pipedepth). Like the scheduler knobs they shape granularity only,
+// never output values, but a byte-identity comparison holds them fixed.
+var pipeTuning struct {
+	batch, depth int
+}
+
+// SetPipeTuning configures the pipeline batch size and channel depth
+// (0 = taskgraph defaults). Call before RunPipeAll.
+func SetPipeTuning(batch, depth int) {
+	pipeTuning.batch, pipeTuning.depth = batch, depth
+}
+
+// pipeOptions builds the speculation options for one measured count:
+// the ModeExec tuning knobs plus the pipeline toggle.
+func pipeOptions(workers int) autopar.Options {
+	o := execOptions(workers)
+	o.Pipeline = true
+	o.PipeBatch = pipeTuning.batch
+	o.PipeDepth = pipeTuning.depth
+	return o
+}
+
+func runPipeKernel(pk workloads.PipeKernel, seed uint64, counts []int) (PipeRow, error) {
+	n := workloads.CurrentScale().N(pk.N)
+	row := PipeRow{
+		App: pk.App, Loop: pk.Loop, N: n, Stages: len(pk.Stages),
+		PipeMS:  make(map[int]float64, len(counts)),
+		ChainMS: make(map[int]float64, len(counts)),
+		Speedup: make(map[int]float64, len(counts)),
+	}
+
+	// Detector verification on the raw loop-pair form. A small n keeps
+	// the interpreted run cheap; the access-set answer is size-blind.
+	found, err := detectPipePairs(pk, 48)
+	if err != nil {
+		return row, fmt.Errorf("pair detection: %w", err)
+	}
+	row.PairsFound, row.PairsWant = found, pk.WantPairs
+
+	pipeSigs := make(map[int]string, len(counts))
+	chainSigs := make(map[int]string, len(counts))
+	top := counts[len(counts)-1]
+	hasMulti, allParallel := false, true
+	for _, w := range counts {
+		sig, rep, ms, err := pipeOnce(pk, n, seed, pipeOptions(w), true)
+		if err != nil {
+			return row, fmt.Errorf("pipePar workers=%d: %w", w, err)
+		}
+		row.PipeMS[w] = ms
+		pipeSigs[w] = sig
+		if w == top {
+			row.Batches = rep.Batches
+			row.BatchSize = rep.BatchSize
+			row.Stalls = rep.Stalls
+			row.StageWorkers = rep.StageWorkers
+		}
+		if len(row.StageVerdicts) == 0 && len(rep.StageVerdicts) > 0 {
+			row.StageVerdicts = rep.StageVerdicts
+		}
+		if w >= 2 {
+			hasMulti = true
+			if !rep.Parallel {
+				allParallel = false
+				if row.AbortReason == "" {
+					row.AbortReason = rep.AbortReason
+				}
+				if row.AbortReason == "" {
+					row.AbortReason = fmt.Sprintf("pipeline did not stream at %d workers (n=%d below dispatch threshold)", w, n)
+				}
+			}
+		}
+
+		csig, _, cms, err := pipeOnce(pk, n, seed, execOptions(w), false)
+		if err != nil {
+			return row, fmt.Errorf("mapPar chain workers=%d: %w", w, err)
+		}
+		row.ChainMS[w] = cms
+		chainSigs[w] = csig
+	}
+	// The static column is analysis output, computed per stage even when
+	// the engine ran with -static=off and reported no verdicts.
+	if len(row.StageVerdicts) == 0 {
+		row.StageVerdicts = staticStageVerdicts(pk)
+	}
+	row.Parallel = hasMulti && allParallel
+	if !hasMulti && row.AbortReason == "" {
+		row.AbortReason = "only sequential counts measured"
+	}
+	row.Identical = true
+	for _, w := range counts {
+		if pipeSigs[w] != pipeSigs[1] || chainSigs[w] != pipeSigs[1] {
+			row.Identical = false
+			row.Parallel = false
+			if row.AbortReason == "" {
+				row.AbortReason = fmt.Sprintf("output at %d workers diverged", w)
+			}
+		}
+	}
+	base := row.PipeMS[1]
+	for _, w := range counts {
+		if row.PipeMS[w] > 0 {
+			row.Speedup[w] = base / row.PipeMS[w]
+		}
+	}
+	return row, nil
+}
+
+// pipeOnce runs the workload once through the real ParallelArray API —
+// pipelined (pipePar) or as the chained-mapPar baseline — and returns
+// the output signature, the engine report, and wall-clock ms. Only the
+// operation itself is timed (the execOnce convention).
+func pipeOnce(pk workloads.PipeKernel, n int, seed uint64, opts autopar.Options, pipelined bool) (string, rivertrail.Report, float64, error) {
+	var setup strings.Builder
+	setup.WriteString(pk.Prelude)
+	setup.WriteString("\n")
+	for s, st := range pk.Stages {
+		fmt.Fprintf(&setup, "var __f%d = %s;\n", s+1, st.Elemental)
+	}
+	setup.WriteString("var __pa = ParallelArray(__rawInput);\n")
+	var op string
+	if pipelined {
+		args := make([]string, len(pk.Stages))
+		for s := range pk.Stages {
+			args[s] = fmt.Sprintf("__f%d", s+1)
+		}
+		op = "var __out = __pa.pipePar(" + strings.Join(args, ", ") + ");\n"
+	} else {
+		op = "var __out = __pa"
+		for s := range pk.Stages {
+			op += fmt.Sprintf(".mapPar(__f%d)", s+1)
+		}
+		op += ";\n"
+	}
+	setupProg, err := interp.Load(setup.String())
+	if err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	opProg, err := interp.Load(op)
+	if err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	sigProg, err := interp.Load(`var __sig = __out.toArray().join(",");` + "\n")
+	if err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	in := interp.New(interp.WithSeed(seed))
+	if !opts.TreeWalk {
+		in.SetCompile(true)
+	}
+	st := rivertrail.Install(in)
+	st.SetOptions(opts)
+	elems := make([]value.Value, n)
+	for i := range elems {
+		elems[i] = value.Number(pk.Input(i))
+	}
+	in.SetGlobal("__rawInput", value.ObjectVal(in.NewArray(elems...)))
+	if err := in.Run(setupProg); err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+
+	t0 := time.Now()
+	if err := in.Run(opProg); err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+
+	if err := in.Run(sigProg); err != nil {
+		return "", rivertrail.Report{}, 0, err
+	}
+	sig := in.Global("__sig").Str()
+	if sig == "" {
+		return "", rivertrail.Report{}, 0, fmt.Errorf("pipeline produced no output")
+	}
+	return sig, st.Last(), ms, nil
+}
+
+// detectPipePairs runs the workload's raw loop-pair form under the
+// PipePairDetector and returns how many produce → consume pairs it saw.
+func detectPipePairs(pk workloads.PipeKernel, n int) (int, error) {
+	prog, err := interp.Load(pk.PairProgram(n))
+	if err != nil {
+		return 0, err
+	}
+	in := interp.New()
+	d := core.NewPipePairDetector()
+	in.SetHooks(d)
+	if err := in.Run(prog); err != nil {
+		return 0, err
+	}
+	return len(d.Pairs()), nil
+}
+
+// staticStageVerdicts runs the prover over each stage source (the
+// -static=off path, where the engine reports no verdicts itself).
+func staticStageVerdicts(pk workloads.PipeKernel) []string {
+	out := make([]string, len(pk.Stages))
+	for s, st := range pk.Stages {
+		if rep, err := effects.AnalyzeKernel(pk.Prelude, st.Elemental); err == nil {
+			out[s] = rep.Verdict.String()
+		} else {
+			out[s] = effects.Unknown.String()
+		}
+	}
+	return out
+}
+
+// PipeSummary condenses the pipeline ladder for logs.
+func PipeSummary(rows []PipeRow) string {
+	if len(rows) == 0 {
+		return "no pipeline rows"
+	}
+	r := rows[0]
+	best, at := 0.0, 1
+	for w, s := range r.Speedup {
+		if s > best || (s == best && w < at) {
+			best, at = s, w
+		}
+	}
+	return fmt.Sprintf("%d-stage pipeline streamed %d batches, best measured speedup %.2fx@%d",
+		r.Stages, r.Batches, best, at)
+}

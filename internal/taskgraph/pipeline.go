@@ -1,0 +1,243 @@
+// Streaming pipeline execution: the scheduling half of the produce →
+// consume shape Fortuna's limit study (this package's Collector) and
+// Brodu et al.'s event-loop-to-pipeline transformation both point at.
+// Where the Collector *measures* how much task-level parallelism two
+// dependent loops could have, RunPipeline *executes* it: each loop
+// becomes a stage, index-range batches stream between stages over
+// bounded channels, and the only inter-stage dependence is the batch
+// hand-off itself.
+//
+// Concurrency/determinism contract (DESIGN.md contract #9):
+//
+//   - Stage isolation: stage s's Body runs only on stage s's worker
+//     goroutines; a (stage, worker) slot is touched by exactly one
+//     goroutine, so per-slot state (interpreters, guards) needs no
+//     locks — the same contract internal/sched gives its worker
+//     indices.
+//   - Batch ordering: the feeder emits batches in ascending index
+//     order and a channel send happens only after Body returned for
+//     that batch, so stage s+1 observes a batch strictly after stage
+//     s finished it (happens-before via the channel). Arrival *order*
+//     at a multi-worker stage is not deterministic; bodies must write
+//     only index-addressed state so results never depend on it.
+//   - Backpressure: channels hold at most Depth batches. A producer
+//     that outruns its consumer blocks on the send (counted in
+//     Stalls) instead of buffering unboundedly.
+//   - Cancellation: the first Body error closes the done channel;
+//     every blocked send/receive selects on it, the feeder stops, and
+//     RunPipeline joins all stage goroutines before returning — no
+//     goroutine outlives the call, no channel hand-off can deadlock.
+package taskgraph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Stage is one streaming pipeline stage.
+type Stage struct {
+	// Name labels the stage in faults and telemetry.
+	Name string
+	// Workers is the stage's goroutine count (< 1 = 1).
+	Workers int
+	// Body processes elements [lo, hi) of batch b on stage worker w.
+	// A non-nil error cancels the whole pipeline.
+	Body func(w, b, lo, hi int) error
+}
+
+// PipeOptions tunes one RunPipeline call.
+type PipeOptions struct {
+	// Batch is the number of element indices per streamed batch
+	// (0 = DefaultPipeBatch).
+	Batch int
+	// Depth is each inter-stage channel's capacity in batches
+	// (0 = DefaultPipeDepth). Smaller = tighter backpressure.
+	Depth int
+	// Class declares the latency lane of the work (telemetry; pipeline
+	// stages run on their own goroutines, not on a shared Queue — see
+	// PipeStats.Class and DESIGN.md contract #9).
+	Class sched.Class
+}
+
+// DefaultPipeBatch and DefaultPipeDepth are the streaming defaults: 64
+// indices per hand-off amortizes channel traffic without starving a
+// 2-stage ladder, and 2 in-flight batches per edge keep both stages
+// busy while bounding buffering.
+const (
+	DefaultPipeBatch = 64
+	DefaultPipeDepth = 2
+)
+
+// PipeStats is the telemetry of one RunPipeline call.
+type PipeStats struct {
+	// Stages and Workers describe the shape: Workers is the total stage
+	// goroutine count (sum of StageWorkers).
+	Stages, Workers int
+	// Batches is the number of index-range batches streamed; BatchSize
+	// and Depth echo the resolved options.
+	Batches, BatchSize, Depth int
+	// StageWorkers[s] is stage s's goroutine count; StageBatches[s]
+	// counts batches whose Body completed on stage s.
+	StageWorkers, StageBatches []int
+	// Stalls[s] counts sends into stage s's input channel that blocked
+	// on backpressure (index 0 = the feeder). Like sched's Steals this
+	// is timing-dependent telemetry — it describes how the run flowed,
+	// never what it computed.
+	Stalls []int
+	// Class echoes the declared latency lane.
+	Class sched.Class
+}
+
+// span is one streamed index-range batch.
+type span struct{ lo, hi int }
+
+// RunPipeline streams element indices [0, n) through the stages: every
+// batch visits stage 0, then stage 1, ... in order. It returns when all
+// batches completed the final stage or the first Body error cancelled
+// the run; either way every goroutine it started has exited. The
+// returned error is the first Body error in (stage, worker) scan order —
+// a deterministic pick when several workers fault concurrently.
+func RunPipeline(n int, stages []Stage, opts PipeOptions) (PipeStats, error) {
+	nStages := len(stages)
+	st := PipeStats{
+		Stages:       nStages,
+		StageWorkers: make([]int, nStages),
+		StageBatches: make([]int, nStages),
+		Stalls:       make([]int, nStages),
+		Class:        opts.Class,
+	}
+	if nStages == 0 || n <= 0 {
+		return st, nil
+	}
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = DefaultPipeBatch
+	}
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = DefaultPipeDepth
+	}
+	nb := (n + batch - 1) / batch
+	st.Batches, st.BatchSize, st.Depth = nb, batch, depth
+
+	chans := make([]chan span, nStages)
+	for s := range chans {
+		chans[s] = make(chan span, depth)
+	}
+	done := make(chan struct{})
+	var cancel sync.Once
+	stop := func() { cancel.Do(func() { close(done) }) }
+
+	stalls := make([]atomic.Int64, nStages)
+	completed := make([]atomic.Int64, nStages)
+	errs := make([][]error, nStages)
+
+	// send hands sp to stage s, counting a stall when the channel is
+	// full, and gives up when the pipeline is cancelled.
+	send := func(s int, sp span) bool {
+		select {
+		case chans[s] <- sp:
+			return true
+		case <-done:
+			return false
+		default:
+		}
+		stalls[s].Add(1)
+		select {
+		case chans[s] <- sp:
+			return true
+		case <-done:
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// Feeder: batches enter stage 0 in ascending index order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chans[0])
+		for b := 0; b < nb; b++ {
+			lo := b * batch
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			if !send(0, span{lo, hi}) {
+				return
+			}
+		}
+	}()
+
+	// Stage workers. stageWG[s] tracks stage s alone so chans[s+1] can
+	// close exactly when no sender into it remains.
+	stageWG := make([]sync.WaitGroup, nStages)
+	for s := range stages {
+		workers := stages[s].Workers
+		if workers < 1 {
+			workers = 1
+		}
+		st.StageWorkers[s] = workers
+		st.Workers += workers
+		errs[s] = make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			stageWG[s].Add(1)
+			go func(s, w int) {
+				defer wg.Done()
+				defer stageWG[s].Done()
+				for {
+					var sp span
+					var ok bool
+					select {
+					case sp, ok = <-chans[s]:
+						if !ok {
+							return
+						}
+					case <-done:
+						// Cancelled: abandon queued batches. Upstream
+						// senders unblock on done too, so nobody needs
+						// us to drain further.
+						return
+					}
+					if err := stages[s].Body(w, sp.lo/batch, sp.lo, sp.hi); err != nil {
+						errs[s][w] = err
+						stop()
+						return
+					}
+					completed[s].Add(1)
+					if s+1 < nStages {
+						if !send(s+1, sp) {
+							return
+						}
+					}
+				}
+			}(s, w)
+		}
+	}
+	for s := 0; s < nStages-1; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			stageWG[s].Wait()
+			close(chans[s+1])
+		}(s)
+	}
+
+	wg.Wait()
+	for s := range stalls {
+		st.Stalls[s] = int(stalls[s].Load())
+		st.StageBatches[s] = int(completed[s].Load())
+	}
+	for s := range errs {
+		for _, err := range errs[s] {
+			if err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,169 @@
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most want (scheduling of exiting goroutines is asynchronous).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > want {
+		t.Fatalf("goroutines leaked: %d running, want <= %d", got, want)
+	}
+}
+
+func TestRunPipelineStreams(t *testing.T) {
+	const n = 1000
+	mid := make([]int64, n)
+	out := make([]int64, n)
+	stages := []Stage{
+		{Name: "double", Workers: 2, Body: func(w, b, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				mid[i] = int64(i) * 2
+			}
+			return nil
+		}},
+		{Name: "inc", Workers: 1, Body: func(w, b, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out[i] = mid[i] + 1
+			}
+			return nil
+		}},
+	}
+	before := runtime.NumGoroutine()
+	st, err := RunPipeline(n, stages, PipeOptions{Batch: 32, Depth: 2, Class: sched.ClassInteractive})
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	for i := range out {
+		if out[i] != int64(i)*2+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], int64(i)*2+1)
+		}
+	}
+	wantBatches := (n + 31) / 32
+	if st.Batches != wantBatches || st.BatchSize != 32 || st.Depth != 2 {
+		t.Fatalf("stats = %+v, want batches %d size 32 depth 2", st, wantBatches)
+	}
+	if st.Stages != 2 || st.Workers != 3 {
+		t.Fatalf("stats shape = %+v, want 2 stages / 3 workers", st)
+	}
+	for s, got := range st.StageBatches {
+		if got != wantBatches {
+			t.Fatalf("stage %d completed %d batches, want %d", s, got, wantBatches)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+func TestRunPipelineBackpressure(t *testing.T) {
+	// A fast producer against a slow consumer with depth 1 must stall
+	// rather than buffer unboundedly.
+	const n = 256
+	var inFlight, maxInFlight atomic.Int64
+	stages := []Stage{
+		{Name: "produce", Body: func(w, b, lo, hi int) error {
+			inFlight.Add(1)
+			return nil
+		}},
+		{Name: "consume", Body: func(w, b, lo, hi int) error {
+			time.Sleep(time.Millisecond)
+			if v := inFlight.Add(-1) + 1; v > maxInFlight.Load() {
+				maxInFlight.Store(v)
+			}
+			return nil
+		}},
+	}
+	st, err := RunPipeline(n, stages, PipeOptions{Batch: 8, Depth: 1})
+	if err != nil {
+		t.Fatalf("RunPipeline: %v", err)
+	}
+	total := 0
+	for _, s := range st.Stalls {
+		total += s
+	}
+	if total == 0 {
+		t.Fatalf("expected backpressure stalls, got none (stats %+v)", st)
+	}
+	// depth 1 channel + 1 batch inside each of 2 stages bounds flight.
+	if got := maxInFlight.Load(); got > 4 {
+		t.Fatalf("in-flight batches reached %d; backpressure is not bounding", got)
+	}
+}
+
+func TestRunPipelineCancelNoDeadlock(t *testing.T) {
+	// A mid-stream stage-1 failure must cancel the feeder and stage 0
+	// (possibly blocked on a full channel) and join every goroutine.
+	errBoom := errors.New("boom")
+	before := runtime.NumGoroutine()
+	var fed atomic.Int64
+	stages := []Stage{
+		{Name: "produce", Workers: 2, Body: func(w, b, lo, hi int) error {
+			fed.Add(1)
+			return nil
+		}},
+		{Name: "consume", Body: func(w, b, lo, hi int) error {
+			if b >= 3 {
+				return fmt.Errorf("batch %d: %w", b, errBoom)
+			}
+			return nil
+		}},
+	}
+	done := make(chan struct{})
+	var st PipeStats
+	var err error
+	go func() {
+		st, err = RunPipeline(100000, stages, PipeOptions{Batch: 4, Depth: 1})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunPipeline deadlocked on cancellation")
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want %v", err, errBoom)
+	}
+	if fed.Load() >= 25000 {
+		t.Fatalf("producer ran %d batches after failure; cancellation did not propagate", fed.Load())
+	}
+	if st.Stages != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	waitGoroutines(t, before)
+}
+
+func TestRunPipelineEdgeShapes(t *testing.T) {
+	ran := false
+	st, err := RunPipeline(0, []Stage{{Body: func(w, b, lo, hi int) error { ran = true; return nil }}}, PipeOptions{})
+	if err != nil || ran || st.Batches != 0 {
+		t.Fatalf("n=0: err %v ran %v stats %+v", err, ran, st)
+	}
+	st, err = RunPipeline(10, nil, PipeOptions{})
+	if err != nil || st.Stages != 0 {
+		t.Fatalf("no stages: err %v stats %+v", err, st)
+	}
+	// Single stage, defaults: degenerates to a batched fork-join map.
+	var sum atomic.Int64
+	st, err = RunPipeline(130, []Stage{{Workers: 3, Body: func(w, b, lo, hi int) error {
+		sum.Add(int64(hi - lo))
+		return nil
+	}}}, PipeOptions{})
+	if err != nil || sum.Load() != 130 {
+		t.Fatalf("single stage: err %v sum %d stats %+v", err, sum.Load(), st)
+	}
+	if st.BatchSize != DefaultPipeBatch || st.Depth != DefaultPipeDepth {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+}
