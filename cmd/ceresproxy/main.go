@@ -22,6 +22,19 @@
 // batch work is shed first at saturation, and -batch-max-wait drops
 // batch jobs still queued past the deadline instead of running them
 // stale.
+//
+// Cluster mode: pass -peers with the full fleet member list (including
+// this node's own public URL, identified by -cluster-self) and the
+// proxy joins a consistent-hash rewrite fleet. Each script source hashes
+// to exactly one owner; non-owners forward rewrites over the peer
+// protocol and fall back to a local rewrite if the owner is unreachable.
+// Health probes eject dead peers from the ring and readmit them when
+// they recover; -cluster-replicate-qps lets hot keys be served by
+// non-owners above a per-key request rate. Prewarm batches POSTed to any
+// node are routed to each source's owner, so one POST warms the fleet.
+//
+//	ceresproxy -listen :8080 -cluster-self http://host1:8080 \
+//	    -peers http://host1:8080,http://host2:8080,http://host3:8080
 package main
 
 import (
@@ -32,9 +45,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/instrument"
 	"repro/internal/proxy"
 )
@@ -51,6 +66,9 @@ func main() {
 	refreshTTL := flag.Duration("refresh-ttl", 0, "background-refresh hot cache entries nearing this age (0 disables)")
 	batchMaxWait := flag.Duration("batch-max-wait", 0, "shed batch-class rewrites (prewarm, TTL refresh) still queued past this deadline (0 disables)")
 	stats := flag.Bool("stats", true, "serve live counters at /__ceres/stats")
+	peers := flag.String("peers", "", "comma-separated fleet member URLs including this node (empty = single-node)")
+	clusterSelf := flag.String("cluster-self", "", "this node's own URL as it appears in -peers (required with -peers)")
+	replicateQPS := flag.Float64("cluster-replicate-qps", 0, "per-key request rate above which non-owners serve a hot key locally (0 = off)")
 	flag.Parse()
 
 	m, err := instrument.ParseMode(*mode)
@@ -73,6 +91,34 @@ func main() {
 		log.Fatal(err)
 	}
 	p.StatsEndpoint = *stats
+
+	var node *cluster.Node
+	if *peers != "" {
+		var members []string
+		for _, m := range strings.Split(*peers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if *clusterSelf == "" {
+			fmt.Fprintln(os.Stderr, "ceresproxy: -peers requires -cluster-self (this node's URL as listed in -peers)")
+			os.Exit(2)
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:         *clusterSelf,
+			Peers:        members,
+			ReplicateQPS: *replicateQPS,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceresproxy: %v\n", err)
+			os.Exit(2)
+		}
+		p.Cluster = node
+		node.Start()
+		fmt.Printf("ceresproxy: cluster of %d members, self=%s, replicate-qps=%g\n",
+			len(members), *clusterSelf, *replicateQPS)
+	}
+
 	fmt.Printf("ceresproxy: %s -> %s (mode=%s, reports=%s, cache=%dB x%d shards, workers=%d, queue-depth=%d, refresh-ttl=%s, batch-max-wait=%s, stats=%v)\n",
 		*listen, *origin, m, *reports, *cacheBytes, *shards,
 		p.Pipeline.Queue().Workers(), p.Pipeline.Queue().Depth(), formatTTL(*refreshTTL), formatTTL(*batchMaxWait), *stats)
@@ -90,6 +136,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("ceresproxy: shutdown: %v", err)
+		}
+		if node != nil {
+			node.Close()
 		}
 		p.Close()
 		close(idle)

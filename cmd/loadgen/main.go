@@ -28,6 +28,13 @@
 //     batch-free baseline while batch/s fills residual capacity, and
 //     that at saturation batch sheds strictly before any interactive
 //     429. -assert-flat N turns that claim into an exit code.
+//   - cluster: -nodes in-process fleet members (each a full serving
+//     proxy plus consistent-hash routing over the peer protocol),
+//     clients spread across all of them; -kill-node abruptly kills one
+//     mid-run (and revives it later unless -revive-node=false) while
+//     the round measures forwarding, rebalancing, and whether
+//     interactive requests survive the disruption. The round fails if
+//     any request hangs or errs, or if interactive 429s appear.
 //
 // Usage:
 //
@@ -37,6 +44,9 @@
 //
 //	loadgen -scenario priority -clients 4 -batch-clients 0,2,4,8 \
 //	    -requests 300 -rewrite-workers 2 -queue-depth 8 -assert-flat 20
+//
+//	loadgen -scenario cluster -nodes 3 -clients 4 -requests 300 \
+//	    -rewrite-workers 2 -queue-depth 32 -kill-node
 package main
 
 import (
@@ -65,12 +75,16 @@ func main() {
 	shards := flag.Int("shards", proxy.DefaultShards, "cache shard count")
 	workers := flag.Int("rewrite-workers", 0, "rewrite pipeline workers (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "admission bound before 429s (0 = workers*2)")
-	scenario := flag.String("scenario", "mix", "workload scenario: mix, saturation, prewarm, priority")
+	scenario := flag.String("scenario", "mix", "workload scenario: mix, saturation, prewarm, priority, cluster")
 	seed := flag.Int64("seed", 7, "deterministic request-mix seed")
 	batchClients := flag.String("batch-clients", "0,2,4,8", "priority scenario: comma-separated batch generator counts, one round each")
 	batchSize := flag.Int("batch-size", 8, "priority scenario: sources per background prewarm POST")
 	batchMaxWait := flag.Duration("batch-max-wait", 500*time.Millisecond, "queue-wait deadline for batch admissions (0 = none)")
 	assertFlat := flag.Float64("assert-flat", 0, "priority scenario: fail unless loaded interactive q-wait p99 <= N x max(baseline, 1ms) and batch sheds before interactive 429s (0 = off)")
+	nodes := flag.Int("nodes", 3, "cluster scenario: fleet size (in-process nodes)")
+	killNode := flag.Bool("kill-node", false, "cluster scenario: abruptly kill one node mid-run")
+	reviveNode := flag.Bool("revive-node", true, "cluster scenario: restart the killed node later in the run")
+	replicateQPS := flag.Float64("cluster-replicate-qps", 0, "cluster scenario: per-key request rate above which non-owners serve a hot key locally (0 = off)")
 	flag.Parse()
 
 	m, err := instrument.ParseMode(*mode)
@@ -90,7 +104,7 @@ func main() {
 	}
 	var batchCounts []int
 	switch *scenario {
-	case "mix", "prewarm":
+	case "mix", "prewarm", "cluster":
 	case "saturation":
 		// Saturation = no cache reuse: every request pays a rewrite, so
 		// the admission queue is the contended resource.
@@ -106,7 +120,7 @@ func main() {
 			os.Exit(2)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown -scenario %q (want mix, saturation, prewarm or priority)\n", *scenario)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -scenario %q (want mix, saturation, prewarm, priority or cluster)\n", *scenario)
 		os.Exit(2)
 	}
 
@@ -134,6 +148,18 @@ func main() {
 		Seed:         *seed,
 		BatchSize:    *batchSize,
 		BatchMaxWait: *batchMaxWait,
+	}
+
+	if *scenario == "cluster" {
+		cfg.Clients = counts[0]
+		runCluster(originURL, loadharness.ClusterConfig{
+			Config:       cfg,
+			Nodes:        *nodes,
+			ReplicateQPS: *replicateQPS,
+			Kill:         *killNode,
+			Revive:       *killNode && *reviveNode,
+		})
+		return
 	}
 
 	var rows []report.ServingRow
@@ -168,6 +194,34 @@ func main() {
 		}
 		fmt.Printf("assert-flat: ok (interactive q-wait p99 within %gx of baseline, batch sheds first)\n", *assertFlat)
 	}
+}
+
+// runCluster drives one cluster round and renders the summary row plus
+// the per-node breakdown. The round's invariants are enforced as exit
+// codes: every request completed (the harness already fails a round
+// with a hung or errored request), and no interactive 429s slipped
+// through without batch shed — the cluster round runs no batch load,
+// so any interactive rejection is a failure.
+func runCluster(originURL string, ccfg loadharness.ClusterConfig) {
+	res, err := loadharness.RunClusterRound(originURL, ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Serving("cluster round (interactive summary)", []report.ServingRow{res.Row}))
+	fmt.Print(report.Cluster(fmt.Sprintf("cluster fleet (%d nodes)", ccfg.Nodes), res.NodeRows))
+	if ccfg.Kill {
+		fmt.Printf("chaos: killed=%s revived=%v disrupted=%d rebalances=%d\n",
+			res.KilledNode, ccfg.Revive, res.Disrupted, res.Rebalances)
+	}
+	if res.Row.Rejected > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d interactive 429s in a round with no batch load\n", res.Row.Rejected)
+		os.Exit(1)
+	}
+	if ccfg.Kill && res.Rebalances == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL: node killed but no ring rebalance observed")
+		os.Exit(1)
+	}
+	fmt.Println("cluster asserts: ok (all requests completed, no interactive 429s)")
 }
 
 // checkFlat enforces the two latency-class invariants over a priority

@@ -1,0 +1,91 @@
+package loadharness
+
+import (
+	"testing"
+)
+
+func baseClusterConfig() ClusterConfig {
+	cfg := baseConfig()
+	cfg.Scenario = "cluster"
+	cfg.Clients = 4
+	cfg.Requests = 200
+	return ClusterConfig{Config: cfg, Nodes: 3}
+}
+
+// TestRunClusterRoundSteady: a 3-node fleet with no chaos serves the
+// whole round — no failures, no interactive 429s (there is no batch
+// load to shed, so any rejection is a routing bug), and the per-node
+// rows account for both local ownership and forwarding.
+func TestRunClusterRoundSteady(t *testing.T) {
+	checkGoroutineLeak(t)
+	origin, stop, err := StartOrigin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	res, err := RunClusterRound(origin, baseClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row.Failures != 0 || res.Row.Rejected != 0 {
+		t.Errorf("steady round: failures=%d rejected=%d, want 0/0", res.Row.Failures, res.Row.Rejected)
+	}
+	if len(res.NodeRows) != 3 {
+		t.Fatalf("%d node rows, want 3", len(res.NodeRows))
+	}
+	var owned, forwarded, received int64
+	for _, r := range res.NodeRows {
+		if !r.Live || r.Killed {
+			t.Errorf("node %s reported dead in a chaos-free round: %+v", r.Node, r)
+		}
+		owned += r.OwnedServed
+		forwarded += r.ForwardedOut
+		received += r.PeerReceived
+	}
+	if owned == 0 || forwarded == 0 || received == 0 {
+		t.Errorf("fleet counters owned=%d forwarded=%d received=%d — routing never exercised", owned, forwarded, received)
+	}
+	if res.Disrupted != 0 {
+		t.Errorf("disrupted=%d in a round with no kill", res.Disrupted)
+	}
+}
+
+// TestRunClusterRoundKillRevive is the full-stack chaos acceptance:
+// one node dies abruptly mid-round and comes back, and the round still
+// completes every request (the drive loop fails the round on any hung
+// or errored request; the watchdog bounds the whole thing) with zero
+// interactive 429s and an observed ring rebalance.
+func TestRunClusterRoundKillRevive(t *testing.T) {
+	checkGoroutineLeak(t)
+	origin, stop, err := StartOrigin(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	ccfg := baseClusterConfig()
+	ccfg.Requests = 400
+	ccfg.Kill = true
+	ccfg.Revive = true
+	res, err := RunClusterRound(origin, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row.Failures != 0 || res.Row.Rejected != 0 {
+		t.Errorf("chaos round: failures=%d rejected=%d, want 0/0", res.Row.Failures, res.Row.Rejected)
+	}
+	if res.KilledNode == "" {
+		t.Fatal("kill requested but no node reported killed")
+	}
+	if res.Rebalances == 0 {
+		t.Error("node killed mid-round but no survivor rebalanced its ring")
+	}
+	killedSeen := false
+	for _, r := range res.NodeRows {
+		if r.Node == res.KilledNode || r.Killed {
+			killedSeen = true
+		}
+	}
+	if !killedSeen {
+		t.Errorf("killed node %s missing from node rows %+v", res.KilledNode, res.NodeRows)
+	}
+}

@@ -27,6 +27,7 @@ package loadharness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -87,7 +88,10 @@ type Config struct {
 // StartOrigin serves deterministic generated JavaScript: any path
 // yields a distinct-but-reproducible script whose content is derived
 // from the path, so hot pools repeat byte-identically and unique paths
-// never collide.
+// never collide. The returned stop function shuts the server down and
+// waits for its accept goroutine to exit — a round that errors early
+// must not leave listener goroutines behind (the leak the round
+// smokes' goroutine check guards).
 func StartOrigin(loops int) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -97,8 +101,28 @@ func StartOrigin(loops int) (string, func(), error) {
 		w.Header().Set("Content-Type", "application/javascript")
 		io.WriteString(w, GenerateScript(r.URL.Path, loops))
 	})}
-	go srv.Serve(ln)
-	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+	return "http://" + ln.Addr().String(), serveAndTrack(srv, ln), nil
+}
+
+// serveAndTrack runs srv on ln and returns a stop function that shuts
+// the server down gracefully (falling back to a hard close after a
+// short grace period) and then joins the accept goroutine, so callers
+// hold a real "no goroutines left" guarantee, not just a closed
+// listener.
+func serveAndTrack(srv *http.Server, ln net.Listener) func() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		<-done
+	}
 }
 
 // GenerateScript emits a parseable loop-heavy script seeded by id, so
@@ -136,9 +160,9 @@ func startProxy(origin string, cfg Config) (*proxy.Proxy, string, func(), error)
 		return nil, "", nil, err
 	}
 	srv := &http.Server{Handler: p}
-	go srv.Serve(ln)
+	stopSrv := serveAndTrack(srv, ln)
 	stop := func() {
-		srv.Close()
+		stopSrv()
 		p.Close()
 	}
 	return p, "http://" + ln.Addr().String(), stop, nil
@@ -204,6 +228,9 @@ type driveResult struct {
 	latencies []time.Duration // sorted, served (200) responses only
 	qwaits    []time.Duration // sorted, from the X-Ceres-Queue-Wait header
 	rejected  int64
+	// disrupted counts requests retried on another node after hitting
+	// a dying connection (cluster rounds with a kill in play only).
+	disrupted int64
 	wall      time.Duration
 }
 

@@ -1,11 +1,43 @@
 package loadharness
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/instrument"
 )
+
+// checkGoroutineLeak fails the test if it ends with more goroutines
+// than it started with (after a settle window for conn teardown). The
+// harness starts real HTTP servers and client pools per round; a
+// forgotten listener or unjoined Serve goroutine shows up here — this
+// is the regression net for the origin-listener leak, where an early
+// round error left the origin's Serve goroutine running for the life
+// of the process.
+func checkGoroutineLeak(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // the real failure is more interesting than fallout
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// A small slack absorbs runtime helpers (GC workers, netpoll)
+		// that come and go; a leaked server is persistent and larger.
+		if now > before+3 {
+			t.Errorf("goroutine leak: %d before round, %d after settle", before, now)
+		}
+	})
+}
 
 func baseConfig() Config {
 	return Config{
@@ -26,6 +58,7 @@ func baseConfig() Config {
 // TestRunRoundMix: the extracted harness still drives a full round end
 // to end — served responses, sane percentiles, no failures.
 func TestRunRoundMix(t *testing.T) {
+	checkGoroutineLeak(t)
 	origin, stop, err := StartOrigin(4)
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +85,7 @@ func TestRunRoundMix(t *testing.T) {
 // with background throughput, and batch pressure never surfaces as
 // interactive 429s without batch shedding first.
 func TestRunPriorityRound(t *testing.T) {
+	checkGoroutineLeak(t)
 	origin, stop, err := StartOrigin(4)
 	if err != nil {
 		t.Fatal(err)

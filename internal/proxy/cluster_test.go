@@ -1,0 +1,410 @@
+// Differential tests for cluster routing: however a rewrite is served
+// — locally by its owner, forwarded to the owner, filled via a peer
+// prewarm transfer, or fallen back after the owner died — the bytes
+// must equal what a single-node proxy produces for the same source.
+// The rewrite is deterministic; the cluster is pure routing and must
+// never become a semantic layer.
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/instrument"
+	"repro/internal/sched"
+)
+
+// genScript is a deterministic per-id script, distinct ids giving
+// distinct sources (and so distinct ring points).
+func genScript(i int) string {
+	return fmt.Sprintf("var v%d = 0;\nfor (var i = 0; i < %d; i++) { v%d += i; }\n", i, 10+i, i)
+}
+
+// newGenOrigin serves /s/<i>.js with genScript(i) content.
+func newGenOrigin(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var i int
+		if _, err := fmt.Sscanf(r.URL.Path, "/s/%d.js", &i); err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, genScript(i))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// newFleet builds n serving proxies joined into one cluster over
+// loopback HTTP. The listeners come up first (the ring needs every
+// URL), then each proxy binds behind its own server via indirection.
+func newFleet(t *testing.T, origin string, n int, replicateQPS float64) ([]*Proxy, []string) {
+	t.Helper()
+	proxies := make([]*Proxy, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			proxies[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	for i := 0; i < n; i++ {
+		p, err := NewServing(origin, instrument.ModeLight, "", ServeConfig{
+			CacheBytes: 1 << 24,
+			Shards:     4,
+			Workers:    2,
+			QueueDepth: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := cluster.New(cluster.Config{
+			Self:           urls[i],
+			Peers:          urls,
+			ForwardTimeout: 2 * time.Second,
+			ReplicateQPS:   replicateQPS,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Cluster = node
+		t.Cleanup(func() { node.Close(); p.Close() })
+		proxies[i] = p
+	}
+	return proxies, urls
+}
+
+// ownerIndex resolves which fleet member owns src.
+func ownerIndex(t *testing.T, urls []string, src string) int {
+	t.Helper()
+	owner := cluster.NewRing(urls, 0).OwnerForSource([]byte(src), int(instrument.ModeLight))
+	for i, u := range urls {
+		if u == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q not in fleet %v", owner, urls)
+	return -1
+}
+
+// TestClusterDifferentialByteIdentity serves the same script through
+// every fleet member — the owner locally, the others by forwarding —
+// and requires byte-identity with the single-node oracle.
+func TestClusterDifferentialByteIdentity(t *testing.T) {
+	origin := newGenOrigin(t)
+	oracle, oracleSrv := newProxy(t, origin.URL, "")
+	want, resp := get(t, oracleSrv.URL+"/s/1.js")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(want, "__ceresEnter") {
+		t.Fatalf("oracle not instrumented: status %d", resp.StatusCode)
+	}
+	_ = oracle
+
+	proxies, urls := newFleet(t, origin.URL, 3, 0)
+	ownerIdx := ownerIndex(t, urls, genScript(1))
+	for i := range proxies {
+		got, resp := get(t, urls[i]+"/s/1.js")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: status %d", i, resp.StatusCode)
+		}
+		if got != want {
+			t.Fatalf("node %d served different bytes than the single-node oracle (owner is node %d)", i, ownerIdx)
+		}
+	}
+
+	ownerStats := proxies[ownerIdx].Cluster.Stats()
+	if ownerStats.PeerReceived != 2 {
+		t.Errorf("owner PeerReceived = %d, want 2 (one per non-owner)", ownerStats.PeerReceived)
+	}
+	if ownerStats.OwnedServed != 1 {
+		t.Errorf("owner OwnedServed = %d, want 1", ownerStats.OwnedServed)
+	}
+	for i := range proxies {
+		if i == ownerIdx {
+			continue
+		}
+		st := proxies[i].Cluster.Stats()
+		if st.ForwardedOut != 1 || st.ForwardFallbacks != 0 {
+			t.Errorf("non-owner %d: ForwardedOut=%d ForwardFallbacks=%d, want 1/0", i, st.ForwardedOut, st.ForwardFallbacks)
+		}
+		// The non-owner streamed the owner's bytes; its own cache and
+		// pipeline never saw the script.
+		if s := proxies[i].Stats(); s.Rewrites != 0 {
+			t.Errorf("non-owner %d ran %d local rewrites for a forwarded key", i, s.Rewrites)
+		}
+	}
+	// Exactly one rewrite fleet-wide: the owner's, coalesced for all
+	// three requests by its cache.
+	if s := proxies[ownerIdx].Stats(); s.Rewrites != 1 {
+		t.Errorf("owner Rewrites = %d, want 1 (cache absorbs the forwarded repeats)", s.Rewrites)
+	}
+}
+
+// TestClusterPrewarmTransferFillsOwnerCache: POSTing a prewarm batch
+// to a non-owner routes each source to its owner's cache — the
+// prewarm endpoint is the fleet's cache-fill transfer path — and the
+// owner's cached bytes match the oracle.
+func TestClusterPrewarmTransferFillsOwnerCache(t *testing.T) {
+	origin := newGenOrigin(t)
+	proxies, urls := newFleet(t, origin.URL, 2, 0)
+
+	// A source owned by node 1, POSTed to node 0.
+	var src string
+	for i := 0; ; i++ {
+		if src = genScript(i); ownerIndex(t, urls, src) == 1 {
+			break
+		}
+	}
+	body, _ := json.Marshal(PrewarmRequest{Sources: []string{src}})
+	resp, err := http.Post(urls[0]+"/__ceres/prewarm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pres PrewarmResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pres); err != nil {
+		t.Fatal(err)
+	}
+	if pres.OK != 1 {
+		t.Fatalf("prewarm response %+v, want OK=1", pres)
+	}
+	if st := proxies[0].Cluster.Stats(); st.PrewarmTransfers != 1 {
+		t.Errorf("node 0 PrewarmTransfers = %d, want 1", st.PrewarmTransfers)
+	}
+	if s := proxies[0].Stats(); s.Rewrites != 0 {
+		t.Errorf("node 0 ran %d rewrites for a remote-owned prewarm source", s.Rewrites)
+	}
+	ownerBefore := proxies[1].Stats()
+	if ownerBefore.Rewrites != 1 || ownerBefore.CacheMisses != 1 {
+		t.Fatalf("owner after transfer: Rewrites=%d CacheMisses=%d, want 1/1", ownerBefore.Rewrites, ownerBefore.CacheMisses)
+	}
+
+	// The transferred fill is a hit now, and byte-identical to a fresh
+	// single-node rewrite of the same source.
+	out, _, err := proxies[1].rewrite([]byte(src), sched.ClassInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := proxies[1].Stats(); s.CacheHits != ownerBefore.CacheHits+1 {
+		t.Errorf("owner cache hits %d -> %d: prewarm transfer did not fill the cache", ownerBefore.CacheHits, s.CacheHits)
+	}
+	oracle, _ := newProxy(t, origin.URL, "")
+	want, _, err := oracle.rewrite([]byte(src), sched.ClassInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Error("prewarm-transferred bytes differ from the single-node oracle")
+	}
+}
+
+// TestClusterFallbackWhenOwnerDown: the owner is unreachable, so the
+// non-owner retries, gives up, serves locally (identical bytes — the
+// rewrite is deterministic), and the failed forwards eject the dead
+// peer so the next request doesn't pay the retry tax.
+func TestClusterFallbackWhenOwnerDown(t *testing.T) {
+	origin := newGenOrigin(t)
+	oracle, oracleSrv := newProxy(t, origin.URL, "")
+	_ = oracle
+
+	// One live proxy, one dead peer URL (port claimed then released).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	p, err := NewServing(origin.URL, instrument.ModeLight, "", ServeConfig{
+		CacheBytes: 1 << 24, Shards: 4, Workers: 2, QueueDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveSrv := httptest.NewServer(p)
+	t.Cleanup(func() { liveSrv.Close(); p.Close() })
+	urls := []string{liveSrv.URL, deadURL}
+	node, err := cluster.New(cluster.Config{
+		Self:           liveSrv.URL,
+		Peers:          urls,
+		ForwardTimeout: time.Second,
+		FailThreshold:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Cluster = node
+	t.Cleanup(node.Close)
+
+	// Two distinct scripts owned by the dead node: the first two
+	// requests exhaust retries and fall back; their failures eject the
+	// peer, so a third dead-owned script routes local directly.
+	var deadOwned []int
+	for i := 0; len(deadOwned) < 3; i++ {
+		if owner := cluster.NewRing(urls, 0).OwnerForSource([]byte(genScript(i)), int(instrument.ModeLight)); owner == deadURL {
+			deadOwned = append(deadOwned, i)
+		}
+	}
+	for k := 0; k < 2; k++ {
+		id := deadOwned[k]
+		got, resp := get(t, liveSrv.URL+fmt.Sprintf("/s/%d.js", id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d — owner death broke serving", k, resp.StatusCode)
+		}
+		want, _ := get(t, oracleSrv.URL+fmt.Sprintf("/s/%d.js", id))
+		if got != want {
+			t.Fatalf("fallback bytes for script %d differ from the oracle", id)
+		}
+	}
+	st := node.Stats()
+	if st.ForwardFallbacks != 2 || st.ForwardErrors != 2 {
+		t.Errorf("ForwardFallbacks=%d ForwardErrors=%d, want 2/2", st.ForwardFallbacks, st.ForwardErrors)
+	}
+	if got := len(node.Members()); got != 1 {
+		t.Fatalf("members = %d after 2 forward failures, want 1 (traffic-driven ejection)", got)
+	}
+	// Ejected: the third dead-owned script is served as sole survivor,
+	// no forward attempted.
+	before := node.Stats().ForwardedOut
+	_, resp := get(t, liveSrv.URL+fmt.Sprintf("/s/%d.js", deadOwned[2]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-ejection status %d", resp.StatusCode)
+	}
+	if after := node.Stats().ForwardedOut; after != before {
+		t.Errorf("forwarded to an ejected peer (%d -> %d)", before, after)
+	}
+}
+
+// TestClusterHoppedRequestServedLocally is the single-hop rule at the
+// proxy layer: a request carrying the hop header is served locally
+// even when the routing table says a peer owns it.
+func TestClusterHoppedRequestServedLocally(t *testing.T) {
+	origin := newGenOrigin(t)
+	proxies, urls := newFleet(t, origin.URL, 2, 0)
+
+	var src string
+	var id int
+	for i := 0; ; i++ {
+		if src = genScript(i); ownerIndex(t, urls, src) == 1 {
+			id = i
+			break
+		}
+	}
+	req, err := http.NewRequest(http.MethodGet, urls[0]+fmt.Sprintf("/s/%d.js", id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.HopHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "__ceresEnter") {
+		t.Fatalf("hopped request: status %d", resp.StatusCode)
+	}
+	if st := proxies[0].Cluster.Stats(); st.ForwardedOut != 0 {
+		t.Errorf("hopped request was re-forwarded (ForwardedOut=%d) — loop prevention broken", st.ForwardedOut)
+	}
+	if s := proxies[0].Stats(); s.Rewrites != 1 {
+		t.Errorf("hopped request not rewritten locally (Rewrites=%d)", s.Rewrites)
+	}
+}
+
+// TestPeerRewriteEndpoint pins the wire contract of
+// /__ceres/peer/rewrite: 200 with instrumented bytes, 409 on a mode
+// mismatch, 422 for a script that does not rewrite.
+func TestPeerRewriteEndpoint(t *testing.T) {
+	origin := newGenOrigin(t)
+	p, srv := newProxy(t, origin.URL, "")
+	_ = p
+
+	post := func(src string, hdr map[string]string) (*http.Response, string) {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+cluster.PeerRewritePath, strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	resp, body := post(genScript(7), map[string]string{
+		cluster.HopHeader:  "1",
+		cluster.ModeHeader: instrument.ModeLight.String(),
+	})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "__ceresEnter") {
+		t.Fatalf("peer rewrite: status %d body %q", resp.StatusCode, body)
+	}
+	want, _, err := p.rewrite([]byte(genScript(7)), sched.ClassInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != string(want) {
+		t.Error("peer rewrite bytes differ from local rewrite of the same source")
+	}
+
+	if resp, _ := post(genScript(7), map[string]string{cluster.ModeHeader: "loops"}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("mode mismatch: status %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := post("function ( { broken", nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("broken script: status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestClusterHotKeyReplicaByteIdentity: once a key crosses the
+// replication threshold a non-owner serves it locally, and those
+// replica bytes still match the forwarded (owner) bytes.
+func TestClusterHotKeyReplicaByteIdentity(t *testing.T) {
+	origin := newGenOrigin(t)
+	proxies, urls := newFleet(t, origin.URL, 2, 3) // hot above 3 req/s
+
+	var id int
+	for i := 0; ; i++ {
+		if ownerIndex(t, urls, genScript(i)) == 1 {
+			id = i
+			break
+		}
+	}
+	path := fmt.Sprintf("/s/%d.js", id)
+	var first, last string
+	for k := 0; k < 6; k++ {
+		body, resp := get(t, urls[0]+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", k, resp.StatusCode)
+		}
+		if k == 0 {
+			first = body
+		}
+		last = body
+	}
+	if first != last {
+		t.Error("replica-served bytes differ from forwarded bytes")
+	}
+	st := proxies[0].Cluster.Stats()
+	if st.ReplicaServed == 0 {
+		t.Errorf("ReplicaServed = 0 after 6 rapid requests with threshold 3 — replication never engaged")
+	}
+	if st.ForwardedOut == 0 {
+		t.Errorf("ForwardedOut = 0 — key never forwarded before going hot")
+	}
+}

@@ -21,6 +21,8 @@ package proxy
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/instrument"
 	"repro/internal/sched"
 )
@@ -66,6 +69,12 @@ type Proxy struct {
 	Pipeline *Pipeline
 	// StatsEndpoint serves GET /__ceres/stats as JSON when true.
 	StatsEndpoint bool
+	// Cluster, when non-nil, routes each script key to its owning peer
+	// before the local cache: keys this node owns (or has replicated
+	// hot) are served locally, everything else is forwarded to its
+	// owner over the peer protocol, so the per-key single-flight and
+	// LRU contracts hold fleet-wide. nil = single-node mode.
+	Cluster *cluster.Node
 
 	instrumented atomic.Int64
 	passthrough  atomic.Int64
@@ -145,6 +154,10 @@ type Stats struct {
 	// Pipeline is the staged serving pipeline's snapshot (nil when the
 	// proxy rewrites inline).
 	Pipeline *PipelineStats `json:"pipeline,omitempty"`
+	// Cluster is the fleet view: membership, ring rebalances, and the
+	// owned/forwarded/replica/fallback counters (nil in single-node
+	// mode).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Report is one result upload from the exercised page.
@@ -236,6 +249,10 @@ func (p *Proxy) Stats() Stats {
 		ps := p.Pipeline.Stats()
 		s.Pipeline = &ps
 	}
+	if p.Cluster != nil {
+		cs := p.Cluster.Stats()
+		s.Cluster = &cs
+	}
 	return s
 }
 
@@ -251,6 +268,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Path == "/__ceres/stats" && p.StatsEndpoint && r.Method == http.MethodGet {
 		p.handleStats(w)
+		return
+	}
+	if r.URL.Path == cluster.PeerRewritePath && r.Method == http.MethodPost {
+		p.handlePeerRewrite(w, r)
+		return
+	}
+	if r.URL.Path == cluster.PeerPingPath {
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	p.forward(w, r)
@@ -338,7 +363,7 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	out, wait, rerr := p.rewrite(body, sched.ClassInteractive)
+	out, wait, rerr := p.routeRewrite(r, body, sched.ClassInteractive)
 	if errors.Is(rerr, sched.ErrSaturated) {
 		// Backpressure, not failure: the admission queue is full even
 		// after batch shedding, so shed the request instead of queueing
@@ -385,6 +410,89 @@ func (p *Proxy) rewrite(src []byte, class sched.Class) ([]byte, time.Duration, e
 	p.uncachedRewrites.Add(1)
 	body, wait, err := inlineRewrite(src, p.Mode, class, nil)
 	return body, wait, err
+}
+
+// routeRewrite is the cluster route-or-serve decision, taken before
+// the local cache: in single-node mode (or for a request that already
+// hopped once — single-hop loop prevention) it is the local rewrite;
+// in cluster mode the script key either belongs here (owner, hot
+// replica, or sole survivor) and is served locally, or is forwarded to
+// its owning peer at the caller's latency class. A forward that
+// exhausts its retries falls back to a local rewrite — availability
+// beats strict ownership, and the rewrite is deterministic so the
+// bytes are identical — while a terminal peer answer (the script does
+// not rewrite) surfaces as the same failure a local parse would.
+func (p *Proxy) routeRewrite(r *http.Request, body []byte, class sched.Class) ([]byte, time.Duration, error) {
+	if p.Cluster == nil || r.Header.Get(cluster.HopHeader) != "" {
+		return p.rewrite(body, class)
+	}
+	point := cluster.KeyPoint(sha256.Sum256(body), int(p.Mode))
+	d := p.Cluster.Route(point)
+	if d.Local {
+		out, wait, err := p.rewrite(body, class)
+		if !errors.Is(err, sched.ErrSaturated) {
+			p.Cluster.CountLocal(d)
+		}
+		return out, wait, err
+	}
+	out, wait, err := p.Cluster.Forward(r.Context(), d.Owner, body, p.Mode, class)
+	if err == nil {
+		return out, wait, nil
+	}
+	if !cluster.Retryable(err) {
+		// The owner answered: this script does not rewrite (or the
+		// fleet is misconfigured). Re-running the same deterministic
+		// transform locally cannot change the verdict.
+		return nil, 0, err
+	}
+	p.Cluster.CountFallback()
+	return p.rewrite(body, class)
+}
+
+// handlePeerRewrite serves POST /__ceres/peer/rewrite: a rewrite
+// forwarded by a peer that routed the key here. The body is raw
+// source; the class header keeps forwarded interactive work
+// interactive. Hopped requests are always served locally — never
+// re-forwarded — so divergent membership views cost one extra local
+// rewrite instead of a loop. 200 carries the rewritten bytes and the
+// queue wait, 429 + Retry-After reports saturation (retryable at the
+// caller), 422 reports a script that does not rewrite (terminal).
+func (p *Proxy) handlePeerRewrite(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, prewarmMaxScriptBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(src) > prewarmMaxScriptBytes {
+		http.Error(w, fmt.Sprintf("proxy: peer rewrite body over %d bytes", prewarmMaxScriptBytes), http.StatusBadRequest)
+		return
+	}
+	if m := r.Header.Get(cluster.ModeHeader); m != "" && m != p.Mode.String() {
+		// A mixed-mode fleet would cache differently-instrumented
+		// bytes under the same stats umbrella; refuse loudly.
+		http.Error(w, fmt.Sprintf("proxy: peer mode %q != local mode %q", m, p.Mode), http.StatusConflict)
+		return
+	}
+	class := cluster.ParseClass(r.Header.Get(cluster.ClassHeader))
+	if p.Cluster != nil {
+		p.Cluster.CountReceived()
+	}
+	out, wait, rerr := p.rewrite(src, class)
+	if errors.Is(rerr, sched.ErrSaturated) {
+		w.Header().Set("Retry-After", strconv.Itoa(p.retryAfterSeconds(class)))
+		http.Error(w, "rewrite queue saturated", http.StatusTooManyRequests)
+		return
+	}
+	if rerr != nil {
+		p.failures.Add(1)
+		http.Error(w, rerr.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	p.instrumented.Add(1)
+	w.Header().Set("Content-Type", "application/javascript")
+	w.Header().Set(QueueWaitHeader, strconv.FormatInt(wait.Microseconds(), 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	_, _ = w.Write(out)
 }
 
 // retryAfterSeconds derives the Retry-After hint for a shed request
@@ -498,6 +606,7 @@ func (p *Proxy) handlePrewarm(w http.ResponseWriter, r *http.Request) {
 	items := make([]PrewarmItem, n)
 	sem := make(chan struct{}, prewarmFetchers)
 	var wg sync.WaitGroup
+	hopped := r.Header.Get(cluster.HopHeader) != ""
 	warm := func(i int, target string, src []byte, fetchErr error) {
 		defer wg.Done()
 		items[i].Target = target
@@ -505,6 +614,18 @@ func (p *Proxy) handlePrewarm(w http.ResponseWriter, r *http.Request) {
 			items[i].Status = "failed"
 			items[i].Error = fetchErr.Error()
 			return
+		}
+		// Cluster cache fill: a prewarm source belongs in its *owner's*
+		// cache — warming it here would populate a cache that never
+		// serves the key. Transfer remote-owned sources to their owner
+		// over the same /__ceres/prewarm endpoint (hop-marked, so the
+		// owner fills locally without re-routing); one POST to any
+		// node warms the whole fleet correctly.
+		if p.Cluster != nil && !hopped {
+			if owner, local := p.Cluster.OwnerFor(cluster.PointForSource(src, int(p.Mode))); !local {
+				items[i].Status, items[i].Error = p.transferPrewarm(r.Context(), owner, src)
+				return
+			}
 		}
 		// Prewarm is batch work: it fills residual capacity, sheds
 		// first at saturation, and never delays a live page load.
@@ -554,6 +675,30 @@ func (p *Proxy) handlePrewarm(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(resp)
+}
+
+// transferPrewarm ships one prewarm source to its owning peer and
+// maps the peer's per-item verdict back onto this batch's item. A
+// transport failure reports "saturated" — the transfer is worth
+// re-POSTing, unlike a script that genuinely failed to rewrite.
+func (p *Proxy) transferPrewarm(ctx context.Context, owner string, src []byte) (status, errText string) {
+	payload, err := json.Marshal(PrewarmRequest{Sources: []string{string(src)}})
+	if err != nil {
+		return "failed", err.Error()
+	}
+	p.Cluster.CountPrewarmTransfer()
+	body, err := p.Cluster.TransferPrewarm(ctx, owner, payload)
+	if err != nil {
+		if cluster.Retryable(err) {
+			return "saturated", err.Error()
+		}
+		return "failed", err.Error()
+	}
+	var resp PrewarmResponse
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Items) != 1 {
+		return "failed", fmt.Sprintf("proxy: prewarm transfer to %s: bad response", owner)
+	}
+	return resp.Items[0].Status, resp.Items[0].Error
 }
 
 // prewarmMaxScriptBytes caps one fetched script — the same order as

@@ -371,6 +371,59 @@ func fmtShortDur(d time.Duration) string {
 	return d.Round(10 * time.Microsecond).String()
 }
 
+// ClusterNodeRow is one fleet member's share of a cluster round
+// (loadgen -scenario cluster): how much it served as owner, forwarded
+// out, served for peers, replicated hot, or absorbed as fallback when
+// an owner died, plus the membership churn it observed.
+type ClusterNodeRow struct {
+	// Node is the member's display name; Killed marks the node the
+	// round killed mid-run (its row merges pre-kill and post-revive
+	// counters); Live is its state at round end.
+	Node   string
+	Killed bool
+	Live   bool
+	// OwnedServed/ForwardedOut/PeerReceived/ReplicaServed/
+	// ForwardFallbacks/Rebalances mirror cluster.Stats.
+	OwnedServed      int64
+	ForwardedOut     int64
+	PeerReceived     int64
+	ReplicaServed    int64
+	ForwardFallbacks int64
+	Rebalances       int64
+	// Hits/Misses/Rejected are the node's cache and shed counters.
+	Hits, Misses, Rejected int64
+}
+
+// Cluster renders the per-node fleet table. The shape to read for:
+// owned dominating every node (partitioning working), fwd-out ≈ the
+// sum of the other nodes' recv (the peer protocol balancing), replica
+// absorbing hot keys away from their owner, and — through a kill —
+// fallback and rebal absorbing the disruption while every request
+// still completes.
+func Cluster(title string, rows []ClusterNodeRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "node\tstate\towned\tfwd-out\trecv\treplica\tfallbk\trebal\thits\tmisses\trejected\t")
+	for _, r := range rows {
+		state := "live"
+		if r.Killed {
+			state = "killed"
+			if r.Live {
+				state = "revived"
+			}
+		} else if !r.Live {
+			state = "down"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			r.Node, state, r.OwnedServed, r.ForwardedOut, r.PeerReceived,
+			r.ReplicaServed, r.ForwardFallbacks, r.Rebalances,
+			r.Hits, r.Misses, r.Rejected)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
 // Fortuna renders the task-level limit-study baseline.
 func Fortuna(rows []study.FortunaRow) string {
 	var sb strings.Builder
